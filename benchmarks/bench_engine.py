@@ -1,0 +1,45 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These time the engine itself (not a paper experiment) so performance
+regressions in the contention solve or the scheduler pass are caught:
+per the project's optimisation rules, measure before optimising.
+"""
+
+from repro.experiments import ScenarioConfig, make_scheduler, spec_scenario
+from repro.hardware.cache import CacheDemand, CacheModel, waterfill_shares
+
+MIB = 1024**2
+
+
+def test_epoch_step_throughput(benchmark):
+    """Steady-state cost of one simulated epoch (24 VCPUs, 8 PCPUs)."""
+    cfg = ScenarioConfig(work_scale=1.0, seed=0)
+    machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
+    machine.run(max_time_s=0.05)  # warm up past initial placement
+
+    benchmark(machine._step_epoch)
+
+
+def test_llc_solve_cost(benchmark):
+    """Cost of one per-socket LLC contention solve (4 co-runners)."""
+    model = CacheModel(12 * MIB)
+    demands = {
+        i: CacheDemand(
+            working_set_bytes=(4 + i) * MIB,
+            intensity=0.02,
+            min_miss_rate=0.1,
+            max_miss_rate=0.8,
+        )
+        for i in range(4)
+    }
+    model.advance(0.05, demands)
+
+    benchmark(model.solve, demands)
+
+
+def test_waterfill_cost(benchmark):
+    """Water-filling with a capped/uncapped mix."""
+    weights = [1.0, 2.0, 0.5, 3.0, 1.5, 0.1, 2.5, 1.0]
+    caps = [4.0, 100.0, 2.0, 50.0, 1.0, 10.0, 100.0, 3.0]
+
+    benchmark(waterfill_shares, 24.0, weights, caps)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Memcached scaling study: where each mechanism earns its keep.
+
+Sweeps memslap concurrency as in the paper's Fig. 6 and prints the
+normalised runtime of vProbe and its two ablations.  At low concurrency
+the servers block often and wake-time placement (the LB mechanism)
+dominates; as concurrency grows the servers' cache footprint explodes
+and balancing LLC pressure across sockets (the partitioning mechanism)
+carries more of the win — the interplay §V-B3 discusses.
+
+Run with::
+
+    python examples/memcached_scaling.py [low] [high] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments import ScenarioConfig, compare, memcached_scenario
+from repro.metrics import format_table
+from repro.workloads import memcached_profile
+
+
+def main() -> None:
+    low = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    high = int(sys.argv[2]) if len(sys.argv) > 2 else 112
+    steps = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+    concurrencies = [int(c) for c in np.linspace(low, high, steps)]
+
+    rows = []
+    for conc in concurrencies:
+        cfg = ScenarioConfig(work_scale=0.08, seed=3)
+        results = compare(
+            lambda p, c, cc=conc: memcached_scenario(cc, p, c),
+            cfg,
+            ("credit", "vprobe", "vcpu-p", "lb"),
+        )
+        base = results["credit"].domain("vm1").mean_finish_time_s
+        profile = memcached_profile(conc)
+        rows.append(
+            (
+                conc,
+                profile.working_set_bytes / 1024**2,
+                profile.blocking.duty_cycle,
+                results["vprobe"].domain("vm1").mean_finish_time_s / base,
+                results["vcpu-p"].domain("vm1").mean_finish_time_s / base,
+                results["lb"].domain("vm1").mean_finish_time_s / base,
+            )
+        )
+        print(f"  c={conc} done")
+
+    print()
+    print(
+        format_table(
+            [
+                "concurrency",
+                "server WS (MiB)",
+                "duty cycle",
+                "vprobe",
+                "vcpu-p",
+                "lb",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nColumns 4-6 are runtimes normalised to Credit (lower is"
+        " better).\nAs the working set crosses the 12 MiB socket LLC,"
+        " vProbe's gains\ngrow — the paper's best case is 31.3% at 80"
+        " concurrent calls."
+    )
+
+
+if __name__ == "__main__":
+    main()

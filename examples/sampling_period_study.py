@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Sampling-period study: why the paper picks 1 second.
+
+Sweeps vProbe's sampling period over the paper's Fig. 8 range on the
+``mix`` workload and prints the runtime curve.  Short periods pay for
+constant re-partitioning (migrations with cold caches, flip-flopping
+marginal assignments); long periods schedule on stale memory-access
+characteristics once application phases move the hot data.
+
+Also demonstrates the §VI dynamic-bounds extension at the chosen
+period.
+
+Run with::
+
+    python examples/sampling_period_study.py
+"""
+
+from repro.core import Bounds
+from repro.experiments import ScenarioConfig, fig8
+from repro.experiments.ablation import run_bounds_ablation
+from repro.metrics import format_table
+
+
+def main() -> None:
+    cfg = ScenarioConfig(work_scale=0.2, seed=0)
+
+    print("Sweeping the sampling period on the mix workload...")
+    result = fig8.run(cfg)
+    print()
+    print(result.format())
+    best = result.best_period()
+    print(
+        f"\nBest period: {best:.1f}s — the paper settles on 1s after the"
+        " same experiment."
+    )
+
+    print("\nDynamic vs static classification bounds (§VI extension):")
+    ablation = run_bounds_ablation(cfg)
+    print()
+    print(ablation.format())
+    print(
+        f"\n(The static bounds low={Bounds().low:.0f}, high={Bounds().high:.0f}"
+        " were hand-tuned in §IV-A for exactly this kind of mix, so"
+        " parity means the quantile tracker found them on its own.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Trace study: watch the schedulers work, window by window.
+
+Runs the same soplex scenario under Credit and vProbe and prints each
+0.5 s window's remote-access ratio, cross-node migration rate and
+memory-intensive VCPU imbalance.  Under Credit the remote ratio drifts
+and stays high; under vProbe the first sampling period (t = 1 s) snaps
+VCPUs to their affinity nodes and the ratio collapses — the paper's
+mechanism made visible in time.
+
+Run with::
+
+    python examples/scheduler_trace.py [app]
+"""
+
+import sys
+
+from repro.experiments import ScenarioConfig, spec_scenario
+from repro.experiments.scenarios import make_scheduler
+from repro.metrics import format_table, trace_run
+
+
+def trace_for(app: str, scheduler: str):
+    cfg = ScenarioConfig(work_scale=0.2, seed=1)
+    machine = spec_scenario(app, make_scheduler(scheduler), cfg)
+    return trace_run(machine, interval_s=0.5)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "soplex"
+
+    for scheduler in ("credit", "vprobe"):
+        print(f"\n--- {scheduler} on {app!r} ---")
+        trace = trace_for(app, scheduler)
+        ratios = trace.window_remote_ratio("vm1")
+        rates = trace.window_migration_rate()
+        imbalance = trace.node_imbalance()[1:]
+        rows = [
+            (
+                f"{trace.times()[i]:.1f}-{trace.times()[i + 1]:.1f}",
+                ratios[i] * 100.0,
+                rates[i],
+                imbalance[i] if i < len(imbalance) else 0,
+            )
+            for i in range(len(ratios))
+        ]
+        print(
+            format_table(
+                [
+                    "window (s)",
+                    "remote (%)",
+                    "cross-migr/s",
+                    "intensive imbalance",
+                ],
+                rows,
+                float_fmt="{:.1f}",
+            )
+        )
+
+    print(
+        "\nReading the traces: vProbe's first sampling period fires at"
+        "\nt=1.0s — from the next window on, its remote ratio should sit"
+        "\nfar below Credit's, and its memory-intensive VCPUs should stay"
+        "\nbalanced across the two sockets (imbalance near 0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

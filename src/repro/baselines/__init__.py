@@ -1,0 +1,12 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.brm` — Bias Random vCPU Migration (Rao et al.,
+  HPCA 2013), the NUMA-aware scheduler the paper compares against;
+* :mod:`repro.baselines.lock` — the system-wide lock whose contention
+  the paper identifies as BRM's scalability bottleneck.
+"""
+
+from repro.baselines.brm import BRMParams, BRMScheduler
+from repro.baselines.lock import GlobalLockModel
+
+__all__ = ["BRMScheduler", "BRMParams", "GlobalLockModel"]

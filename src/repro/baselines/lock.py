@@ -1,0 +1,89 @@
+"""System-wide lock contention model.
+
+BRM serialises every VCPU *uncore penalty* update behind one global
+lock (the paper's §V-B5 explanation for BRM's poor showing: "it needs
+to acquire a system-wide lock before updating a VCPU's uncore penalty
+... when the number of VCPUs is large, i.e., greater than 8, the lock
+contention problem introduces significant overheads").
+
+The analytic model: an update's critical section takes
+``critical_section_s``; while ``contenders`` VCPUs are actively
+updating, an acquirer additionally waits for the expected number of
+earlier arrivals ahead of it.  Contention grows once the updater count
+exceeds ``free_threshold`` (the point where updates start overlapping —
+8 on the paper's 8-PCPU host):
+
+``wait = cs * max(0, contenders - free_threshold) * scale``
+
+Linear-in-contenders waiting matches ticket/queued spinlocks, which is
+what Xen uses for scheduler-global state.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["GlobalLockModel"]
+
+
+class GlobalLockModel:
+    """Expected cost of one lock-protected update under contention.
+
+    Parameters
+    ----------
+    critical_section_s:
+        Time the lock is held per update.
+    free_threshold:
+        Updater count below which acquisitions are effectively
+        uncontended.
+    scale:
+        Multiplier on the queueing term (cache-line ping-pong makes the
+        effective critical section grow with waiters on real hardware).
+    """
+
+    def __init__(
+        self,
+        critical_section_s: float = 15.0e-6,
+        free_threshold: int = 8,
+        scale: float = 16.0,
+    ) -> None:
+        self.critical_section_s = check_positive(critical_section_s, "critical_section_s")
+        if free_threshold < 0:
+            raise ValueError(f"free_threshold must be >= 0, got {free_threshold}")
+        self.free_threshold = free_threshold
+        self.scale = check_positive(scale, "scale")
+        self.acquisitions = 0
+        self.total_wait_s = 0.0
+
+    def acquire_cost(self, contenders: int) -> float:
+        """Total time (hold + expected wait) for one update.
+
+        Parameters
+        ----------
+        contenders:
+            VCPUs currently in the update path (the paper's "number of
+            VCPUs" — every VCPU's penalty is refreshed around context
+            switches, so all runnable VCPUs contend).
+        """
+        check_non_negative(contenders, "contenders")
+        wait = (
+            self.critical_section_s
+            * max(0, contenders - self.free_threshold)
+            * self.scale
+        )
+        cost = self.critical_section_s + wait
+        self.acquisitions += 1
+        self.total_wait_s += wait
+        return cost
+
+    def mean_wait_s(self) -> float:
+        """Average waiting time per acquisition so far."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_wait_s / self.acquisitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GlobalLockModel(cs={self.critical_section_s:.2e}s, "
+            f"acquisitions={self.acquisitions})"
+        )

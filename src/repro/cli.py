@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``compare``
+    Run one workload under several schedulers and print the comparison::
+
+        python -m repro compare soplex --schedulers credit vprobe lb
+        python -m repro compare sp --work-scale 0.3 --seed 7
+
+``solo``
+    The §IV-A calibration run for one application (miss rate, RPTI,
+    class)::
+
+        python -m repro solo libquantum
+
+``report``
+    Regenerate every table/figure into a directory (same as
+    ``python -m repro.experiments.report_all``)::
+
+        python -m repro report results/ --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+from typing import List, Optional
+
+from repro.core.classify import Bounds, classify
+from repro.experiments import (
+    ScenarioConfig,
+    compare,
+    npb_scenario,
+    solo_scenario,
+    spec_scenario,
+)
+from repro.experiments.runner import run_one
+from repro.experiments.scenarios import SCHEDULER_NAMES
+from repro.metrics.report import format_table, improvement_pct
+from repro.workloads.suites import NPB_PROFILES, profile_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vProbe (CLUSTER 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmp_p = sub.add_parser("compare", help="compare schedulers on a workload")
+    cmp_p.add_argument("app", help=f"one of: {', '.join(profile_names())}")
+    cmp_p.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["credit", "vprobe"],
+        choices=list(SCHEDULER_NAMES),
+        help="schedulers to run (paired seeds)",
+    )
+    cmp_p.add_argument("--work-scale", type=float, default=0.15)
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument(
+        "--sample-period", type=float, default=1.0, help="vProbe sampling period (s)"
+    )
+
+    solo_p = sub.add_parser("solo", help="solo calibration run (Fig. 3)")
+    solo_p.add_argument("app")
+    solo_p.add_argument("--work-scale", type=float, default=0.05)
+
+    rep_p = sub.add_parser("report", help="regenerate all tables/figures")
+    rep_p.add_argument("outdir", nargs="?", default="results")
+    rep_p.add_argument("--fast", action="store_true")
+
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cfg = ScenarioConfig(
+        work_scale=args.work_scale,
+        seed=args.seed,
+        sample_period_s=args.sample_period,
+    )
+    if args.app in NPB_PROFILES:
+        builder = lambda p, c: npb_scenario(args.app, p, c)
+    else:
+        builder = lambda p, c: spec_scenario(args.app, p, c)
+    results = compare(builder, cfg, args.schedulers)
+
+    baseline = args.schedulers[0]
+    base_time = results[baseline].domain("vm1").mean_finish_time_s
+    rows = []
+    for name, summary in results.items():
+        vm1 = summary.domain("vm1")
+        rows.append(
+            (
+                name,
+                vm1.mean_finish_time_s,
+                vm1.mean_finish_time_s / base_time,
+                vm1.remote_ratio * 100.0,
+                summary.machine_stats.cross_node_migrations,
+                summary.machine_stats.overhead_fraction * 100.0,
+            )
+        )
+    print(
+        format_table(
+            [
+                "scheduler",
+                "runtime (s)",
+                f"vs {baseline}",
+                "remote (%)",
+                "cross-migr",
+                "overhead (%)",
+            ],
+            rows,
+        )
+    )
+    if "vprobe" in results and baseline != "vprobe":
+        print(
+            f"\nvprobe improvement over {baseline}: "
+            f"{improvement_pct(results['vprobe'].domain('vm1').mean_finish_time_s, base_time):.1f}%"
+        )
+    return 0
+
+
+def _cmd_solo(args: argparse.Namespace) -> int:
+    cfg = ScenarioConfig(work_scale=args.work_scale, seed=0)
+    builder = lambda p, c: solo_scenario(args.app, p, c)
+    summary = run_one(builder, "credit", cfg)
+    stats = summary.domain("vm1")
+    vtype = classify(stats.rpti, Bounds())
+    print(
+        format_table(
+            ["application", "miss rate (%)", "RPTI", "class"],
+            [(args.app, stats.llc_miss_rate * 100.0, stats.rpti, vtype.value)],
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_all import regenerate_all
+
+    regenerate_all(pathlib.Path(args.outdir), fast=args.fast)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "solo":
+        return _cmd_solo(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

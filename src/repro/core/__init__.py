@@ -1,0 +1,45 @@
+"""vProbe: the paper's contribution.
+
+Three cooperating mechanisms layered on the Credit scheduler:
+
+* :mod:`repro.core.analyzer` — the PMU data analyzer (§III-B): per
+  sampling period, derive each VCPU's *memory node affinity* (Eq. 1),
+  *LLC access pressure* (Eq. 2) and *type* (Eq. 3).
+* :mod:`repro.core.partition` — VCPU periodical partitioning
+  (§III-C, Algorithm 1).
+* :mod:`repro.core.balance` — NUMA-aware load balance
+  (§III-D, Algorithm 2).
+
+:class:`repro.core.vprobe.VProbeScheduler` assembles them; the factory
+functions also build the paper's ablation variants (VCPU-P, LB).
+"""
+
+from repro.core.classify import Bounds, classify, llc_access_pressure
+from repro.core.analyzer import PmuAnalyzer, VcpuSample
+from repro.core.partition import PartitionDecision, periodical_partition
+from repro.core.balance import numa_aware_steal
+from repro.core.vprobe import (
+    VProbeParams,
+    VProbeScheduler,
+    load_balance_only,
+    vcpu_partition_only,
+    vprobe,
+)
+from repro.core.bounds import DynamicBounds
+
+__all__ = [
+    "Bounds",
+    "classify",
+    "llc_access_pressure",
+    "PmuAnalyzer",
+    "VcpuSample",
+    "PartitionDecision",
+    "periodical_partition",
+    "numa_aware_steal",
+    "VProbeParams",
+    "VProbeScheduler",
+    "vprobe",
+    "vcpu_partition_only",
+    "load_balance_only",
+    "DynamicBounds",
+]

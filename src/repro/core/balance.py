@@ -1,0 +1,108 @@
+"""NUMA-aware load balance (§III-D, Algorithm 2).
+
+When a PCPU goes idle it steals work, but unlike Credit's NUMA-blind
+scan it:
+
+1. visits the **local node first** and only then remote nodes — keeping
+   memory-intensive VCPUs near their pages and preserving the LLC
+   balance the partitioner established;
+2. within a node, checks PCPUs in **descending ``workload``** order
+   (the §IV-B per-PCPU run-queue counter) — relieving the most loaded
+   peer reduces context switching and keeps PCPU loads even;
+3. from the chosen queue steals the runnable VCPU with the **smallest
+   LLC access pressure** — moving a cache-light VCPU disturbs the LLC
+   contention balance the least, and if the steal does cross nodes, a
+   low-pressure VCPU also generates the fewest new remote accesses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.xen.pcpu import Pcpu
+from repro.xen.vcpu import Vcpu
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.simulator import Machine
+
+__all__ = ["numa_aware_steal", "node_visit_order"]
+
+
+def node_visit_order(machine: "Machine", home_node: int) -> Iterable[int]:
+    """Node scan order: local node, then remote nodes (nearest first).
+
+    On the paper's two-socket host "nearest first" is trivial; for
+    larger synthetic topologies nodes are visited by distance then id,
+    matching the ``nextNode()`` iteration of Algorithm 2.
+    """
+    topo = machine.topology
+    remote = sorted(
+        topo.remote_nodes(home_node),
+        key=lambda n: (topo.distance(home_node, n), n),
+    )
+    yield home_node
+    yield from remote
+
+
+def numa_aware_steal(
+    machine: "Machine", pcpu: Pcpu, now: float, under_only: bool = False
+) -> Optional[Vcpu]:
+    """Algorithm 2: pick a VCPU for a PCPU that needs work.
+
+    Triggered at the same points as Credit's balancer: when ``pcpu``
+    goes idle, or when its best local candidate has OVER priority.
+    Unlike Credit, Algorithm 2 places no priority condition on the
+    victim — line 4 of the paper's pseudocode considers *all* runnable
+    VCPUs and picks the smallest LLC pressure.  That asymmetry is the
+    mechanism's point: when a steal must cross nodes, a cache-light
+    (usually CPU-bound, credit-hungry, hence OVER) VCPU moves instead
+    of a memory-intensive UNDER one, so the partitioner's placement
+    survives between sampling periods.  ``under_only`` is accepted for
+    interface compatibility and ignored.
+
+    Returns the chosen VCPU already removed from its victim queue (the
+    machine completes the migration bookkeeping), or None when no
+    eligible VCPU exists anywhere.
+    """
+    del under_only  # Algorithm 2 ranks by pressure, not credit priority.
+    hot_window = machine.policy.params.cache_hot_s
+    for only_cold in (True, False):
+        if not only_cold and (pcpu.current is not None or pcpu.queue):
+            # Only a PCPU about to idle falls back to cache-hot steals.
+            break
+        found = _scan_nodes(machine, pcpu, now, only_cold, hot_window)
+        if found is not None:
+            return found
+    return None
+
+
+def _scan_nodes(machine, pcpu, now, only_cold, hot_window):
+    for node in node_visit_order(machine, pcpu.node):
+        # loadList: this node's PCPUs by descending workload counter.
+        peers = sorted(
+            (machine.pcpus[p] for p in machine.topology.pcpus_of_node(node)),
+            key=lambda p: (-p.workload, p.pcpu_id),
+        )
+        for victim in peers:
+            if victim is pcpu or not victim.queue:
+                continue
+            candidates = [
+                v
+                for v in victim.queue
+                if not only_cold or now - v.last_ran_time >= hot_window
+            ]
+            if not candidates:
+                continue
+            vcpu = min(candidates, key=lambda v: v.llc_pressure)
+            if vcpu is not None:
+                victim.queue.remove(vcpu)
+                machine.log.emit(
+                    now,
+                    "numa_steal",
+                    vcpu=vcpu.name,
+                    thief=pcpu.pcpu_id,
+                    victim=victim.pcpu_id,
+                    local=victim.node == pcpu.node,
+                )
+                return vcpu
+    return None

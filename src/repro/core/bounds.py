@@ -1,0 +1,111 @@
+"""Dynamic VCPU-type bounds (the §VI future-work extension).
+
+The paper fixes ``low = 3`` and ``high = 20`` for its host and notes
+that adapting them to the running workload "will make vProbe more
+adaptable to different real-world applications".  This module
+implements the natural quantile-tracking realisation of that idea:
+
+* each sampling period, collect the LLC access pressures of all VCPUs
+  that ran;
+* estimate the distribution's ``low_q`` and ``high_q`` quantiles;
+* blend them into the current bounds with exponential smoothing so a
+  single noisy period cannot flip every classification;
+* never let the bounds collapse: ``low`` is kept at least
+  ``min_separation`` below ``high`` and both stay inside configured
+  floors/ceilings so an all-friendly or all-thrashing mix degrades to
+  the static behaviour instead of oscillating.
+
+The ablation bench ``benchmarks/bench_ablation.py`` compares static
+vs dynamic bounds on workload mixes whose pressure distribution drifts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.classify import Bounds
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["DynamicBounds"]
+
+
+class DynamicBounds:
+    """Quantile-tracking adaptation of the Eq. 3 bounds.
+
+    Parameters
+    ----------
+    initial:
+        Starting bounds (the paper's static values by default).
+    low_q / high_q:
+        Target quantiles of the observed pressure distribution for the
+        low and high bound.
+    smoothing:
+        Exponential-smoothing weight of the *new* estimate in [0, 1];
+        small values adapt slowly and stably.
+    min_separation:
+        Minimum gap kept between low and high.
+    floor / ceiling:
+        Hard limits for the adapted bounds.
+    min_samples:
+        Below this many pressure samples the period is skipped (too
+        little signal to re-estimate a distribution).
+    """
+
+    def __init__(
+        self,
+        initial: Bounds | None = None,
+        low_q: float = 0.25,
+        high_q: float = 0.75,
+        smoothing: float = 0.3,
+        min_separation: float = 2.0,
+        floor: float = 0.5,
+        ceiling: float = 60.0,
+        min_samples: int = 4,
+    ) -> None:
+        self.bounds = initial or Bounds()
+        self.low_q = check_fraction(low_q, "low_q")
+        self.high_q = check_fraction(high_q, "high_q")
+        if low_q >= high_q:
+            raise ValueError(f"low_q must be < high_q, got {low_q} >= {high_q}")
+        self.smoothing = check_fraction(smoothing, "smoothing")
+        self.min_separation = check_positive(min_separation, "min_separation")
+        self.floor = check_positive(floor, "floor")
+        self.ceiling = check_positive(ceiling, "ceiling")
+        if floor >= ceiling:
+            raise ValueError("floor must be < ceiling")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.min_samples = min_samples
+        self.updates = 0
+
+    def update(self, pressures: Sequence[float]) -> Bounds:
+        """Fold one period's pressure observations into the bounds.
+
+        Returns the (possibly unchanged) current bounds.
+        """
+        if len(pressures) < self.min_samples:
+            return self.bounds
+        arr = np.asarray(pressures, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError("pressures must be non-negative")
+        new_low = float(np.quantile(arr, self.low_q))
+        new_high = float(np.quantile(arr, self.high_q))
+
+        s = self.smoothing
+        low = (1 - s) * self.bounds.low + s * new_low
+        high = (1 - s) * self.bounds.high + s * new_high
+
+        low = min(max(low, self.floor), self.ceiling - self.min_separation)
+        high = min(max(high, low + self.min_separation), self.ceiling)
+
+        self.bounds = Bounds(low=low, high=high)
+        self.updates += 1
+        return self.bounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DynamicBounds(low={self.bounds.low:.2f}, high={self.bounds.high:.2f}, "
+            f"updates={self.updates})"
+        )

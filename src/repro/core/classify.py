@@ -1,0 +1,77 @@
+"""VCPU classification by LLC access pressure (§III-B2, Eq. 2-3).
+
+The paper measures *LLC access pressure*::
+
+    R_LLCref = LLC_ref / Instr_retired * alpha        (Eq. 2)
+
+with alpha = 1000, i.e. LLC references per kilo-instruction — chosen
+over the LLC *miss* rate because the miss rate is unstable under
+interference while the reference rate is a property of the program.
+Two bounds split VCPUs into three classes (Eq. 3)::
+
+    LLC-FR  if R < low           (friendly: negligible LLC demand)
+    LLC-FI  if low <= R < high   (fitting: hurt by contention)
+    LLC-T   if R >= high         (thrashing: misses heavily anyway)
+
+§IV-A derives low = 3 and high = 20 from solo measurements of povray
+(0.48), ep (2.01), lu (15.38), mg (16.33), milc (21.68) and
+libquantum (22.41).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xen.vcpu import VcpuType
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["DEFAULT_ALPHA", "Bounds", "llc_access_pressure", "classify"]
+
+#: Eq. 2 scale constant: pressure = references per 1000 instructions.
+DEFAULT_ALPHA = 1000.0
+
+
+@dataclass(frozen=True, slots=True)
+class Bounds:
+    """The (low, high) classification bounds of Eq. 3.
+
+    Defaults are the §IV-A empirical values for the E5620 host.
+    """
+
+    low: float = 3.0
+    high: float = 20.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.low, "low")
+        check_positive(self.high, "high")
+        if self.low >= self.high:
+            raise ValueError(
+                f"bounds must satisfy low < high, got low={self.low}, high={self.high}"
+            )
+
+
+def llc_access_pressure(
+    llc_refs: float, instructions: float, alpha: float = DEFAULT_ALPHA
+) -> float:
+    """Eq. 2: LLC references per ``alpha`` instructions.
+
+    Returns 0 when no instructions retired in the window (a VCPU that
+    never ran cannot be judged and defaults to the friendly class).
+    """
+    check_non_negative(llc_refs, "llc_refs")
+    check_non_negative(instructions, "instructions")
+    check_positive(alpha, "alpha")
+    if instructions <= 0:
+        return 0.0
+    return llc_refs / instructions * alpha
+
+
+def classify(pressure: float, bounds: Bounds | None = None) -> VcpuType:
+    """Eq. 3: map an LLC access pressure onto a VCPU type."""
+    check_non_negative(pressure, "pressure")
+    b = bounds or Bounds()
+    if pressure < b.low:
+        return VcpuType.LLC_FR
+    if pressure < b.high:
+        return VcpuType.LLC_FI
+    return VcpuType.LLC_T

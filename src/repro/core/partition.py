@@ -1,0 +1,129 @@
+"""VCPU periodical partitioning (§III-C, Algorithm 1).
+
+At the end of each sampling period, every memory-intensive VCPU
+(LLC-T or LLC-FI) is marked *unassigned* and then reassigned one at a
+time:
+
+1. pick **MIN-NODE**, the node with the fewest VCPUs reassigned so far
+   (``reassigned_load``);
+2. prefer an unassigned **LLC-T** VCPU while any remain, else LLC-FI
+   (heaviest pressure class balanced first);
+3. within the chosen type, prefer a VCPU whose *memory node affinity*
+   is MIN-NODE — it then runs local, costing no remote accesses;
+   otherwise take one from the largest affinity group, which keeps the
+   remaining groups as balanceable as possible;
+4. migrate it to MIN-NODE and bump that node's ``reassigned_load``.
+
+LLC-FR VCPUs are left to the default Credit policy: they are
+insensitive to cache and memory placement, so load balance matters
+more for them than locality.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.xen.vcpu import Vcpu, VcpuState, VcpuType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.simulator import Machine
+
+__all__ = ["PartitionDecision", "periodical_partition"]
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionDecision:
+    """One Algorithm 1 assignment: a VCPU bound to a node for the period."""
+
+    vcpu_key: int
+    vcpu_type: VcpuType
+    affinity: Optional[int]
+    node: int
+    local: bool  #: True when node == affinity (no new remote accesses)
+
+
+def _candidates(machine: "Machine") -> List[Vcpu]:
+    """Memory-intensive, still-live VCPUs, in stable key order."""
+    return [
+        v
+        for v in machine.vcpus
+        if v.state is not VcpuState.DONE
+        and v.workload.active
+        and v.vcpu_type.memory_intensive
+    ]
+
+
+def periodical_partition(
+    machine: "Machine",
+    now: float,
+) -> List[PartitionDecision]:
+    """Run Algorithm 1 and perform the resulting migrations.
+
+    Returns the assignment list so the caller (the vProbe policy) can
+    charge overhead proportional to the work done and tests can check
+    the invariants (even spread, affinity preference).
+    """
+    num_nodes = machine.topology.num_nodes
+    unassigned = _candidates(machine)
+
+    # groupOfVc(c, p): unassigned VCPUs of type c with affinity p.
+    # Affinity None (never sampled) is grouped under the VCPU's current
+    # node so brand-new VCPUs still participate.
+    groups: Dict[Tuple[VcpuType, int], Deque[Vcpu]] = {}
+    for vcpu in unassigned:
+        affinity = vcpu.node_affinity
+        if affinity is None:
+            affinity = machine.topology.node_of_pcpu(vcpu.pcpu or 0)
+        groups.setdefault((vcpu.vcpu_type, affinity), deque()).append(vcpu)
+
+    remaining = {VcpuType.LLC_T: 0, VcpuType.LLC_FI: 0}
+    for (vtype, _), dq in groups.items():
+        remaining[vtype] += len(dq)
+
+    reassigned_load = [0] * num_nodes
+    decisions: List[PartitionDecision] = []
+
+    total = len(unassigned)
+    for _ in range(total):
+        # MIN-NODE: fewest reassigned VCPUs (ties: lowest id).
+        min_node = min(range(num_nodes), key=lambda n: (reassigned_load[n], n))
+
+        # Type preference: LLC-T while any remain, else LLC-FI.
+        vtype = VcpuType.LLC_T if remaining[VcpuType.LLC_T] > 0 else VcpuType.LLC_FI
+
+        # Prefer the group local to MIN-NODE; else the largest group.
+        local_group = groups.get((vtype, min_node))
+        if local_group:
+            vcpu = local_group.popleft()
+        else:
+            best_node = max(
+                range(num_nodes),
+                key=lambda n: (len(groups.get((vtype, n), ())), -n),
+            )
+            vcpu = groups[(vtype, best_node)].popleft()
+        remaining[vtype] -= 1
+
+        affinity = vcpu.node_affinity
+        target = machine.least_loaded_pcpu(min_node)
+        vcpu.assigned_node = min_node
+        machine.migrate_vcpu(vcpu, target.pcpu_id, now, reason="partition")
+        decisions.append(
+            PartitionDecision(
+                vcpu_key=vcpu.key,
+                vcpu_type=vcpu.vcpu_type,
+                affinity=affinity,
+                node=min_node,
+                local=affinity == min_node,
+            )
+        )
+        reassigned_load[min_node] += 1
+
+    machine.log.emit(
+        now,
+        "partition",
+        assigned=len(decisions),
+        local=sum(1 for d in decisions if d.local),
+    )
+    return decisions

@@ -1,0 +1,268 @@
+"""The assembled vProbe scheduler and its ablation variants.
+
+vProbe = Credit scheduler + PMU data analyzer + VCPU periodical
+partitioning + NUMA-aware load balance (§III-A, Fig. 2).  The paper's
+evaluation additionally runs each mechanism alone:
+
+* **VCPU-P** — partitioning only; load balancing stays NUMA-blind, so
+  the balance the partitioner builds erodes between sampling periods;
+* **LB** — NUMA-aware load balance only; no partitioning, so LLC-heavy
+  VCPUs can still pile onto one socket.
+
+Overhead is charged faithfully (it is the subject of Table III): PMU
+save/restore around context switches and 10 ms refreshes, plus the
+partitioning pass itself, all consume hypervisor time on the PCPUs
+where they run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.analyzer import PmuAnalyzer
+from repro.core.balance import numa_aware_steal
+from repro.core.bounds import DynamicBounds
+from repro.core.classify import Bounds
+from repro.core.partition import periodical_partition
+from repro.xen.credit import CreditParams, CreditScheduler
+from repro.xen.pcpu import Pcpu
+from repro.xen.vcpu import Vcpu
+from repro.util.validation import check_non_negative
+
+__all__ = [
+    "VProbeParams",
+    "VProbeScheduler",
+    "vprobe",
+    "vcpu_partition_only",
+    "load_balance_only",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class VProbeParams:
+    """vProbe tuning knobs beyond the Credit parameters.
+
+    Attributes
+    ----------
+    bounds:
+        Eq. 3 classification bounds (low=3, high=20 per §IV-A).
+    enable_partition:
+        Run Algorithm 1 each sampling period.
+    enable_numa_lb:
+        Use Algorithm 2 for idle stealing.
+    partition_cost_per_vcpu_s:
+        Hypervisor time per VCPU examined by the partitioner.
+    dynamic_bounds:
+        Enable the §VI future-work extension: adapt ``bounds`` to the
+        observed pressure distribution each period.
+    page_migration:
+        Enable the §VI combined-strategy extension: when Algorithm 1 is
+        forced to place a VCPU away from its affinity node (the even
+        spread outranks locality), migrate a fraction of its hot pages
+        to the assigned node instead of leaving them remote.  Copying
+        costs hypervisor time (``page_copy_bandwidth``), which is why
+        the paper calls page migration "expensive" relative to VCPU
+        migration — the cost is charged and shows up in the overhead
+        accounting.
+    page_migration_fraction:
+        Fraction of the hot slice copied per period for a forced-remote
+        VCPU.
+    page_copy_bandwidth:
+        Effective page-copy bandwidth in bytes/second.
+    page_migration_patience:
+        Consecutive periods a VCPU must stay forced-remote *on the same
+        node* before its pages follow.  Without this hysteresis the
+        pages chase Algorithm 1's marginal assignments (which can flip
+        node every period) and end up spread across both sockets —
+        worse than not migrating at all, and a concrete form of the
+        cost the paper's §VI warns about.
+    """
+
+    bounds: Bounds = Bounds()
+    enable_partition: bool = True
+    enable_numa_lb: bool = True
+    partition_cost_per_vcpu_s: float = 3.0e-6
+    dynamic_bounds: bool = False
+    page_migration: bool = False
+    page_migration_fraction: float = 0.25
+    page_copy_bandwidth: float = 2.0e9
+    page_migration_patience: int = 2
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.partition_cost_per_vcpu_s, "partition_cost_per_vcpu_s")
+        check_non_negative(self.page_migration_fraction, "page_migration_fraction")
+        if self.page_migration_fraction > 1:
+            raise ValueError("page_migration_fraction must be <= 1")
+        if self.page_copy_bandwidth <= 0:
+            raise ValueError("page_copy_bandwidth must be > 0")
+        if self.page_migration_patience < 1:
+            raise ValueError("page_migration_patience must be >= 1")
+
+
+class VProbeScheduler(CreditScheduler):
+    """NUMA-aware VCPU scheduler (the paper's contribution)."""
+
+    name = "vprobe"
+    collects_pmu = True
+
+    def __init__(
+        self,
+        params: CreditParams | None = None,
+        vparams: VProbeParams | None = None,
+    ) -> None:
+        super().__init__(params)
+        self.vparams = vparams or VProbeParams()
+        self.analyzer = PmuAnalyzer(self.vparams.bounds)
+        self._dynamic = DynamicBounds(self.vparams.bounds) if self.vparams.dynamic_bounds else None
+        #: per-VCPU (node, consecutive forced-remote periods) for the
+        #: page-migration hysteresis
+        self._remote_streak: dict[int, tuple[int, int]] = {}
+        # Ablation variants advertise their own name.
+        if not self.vparams.enable_partition and self.vparams.enable_numa_lb:
+            self.name = "lb"
+        elif self.vparams.enable_partition and not self.vparams.enable_numa_lb:
+            self.name = "vcpu-p"
+
+    # ------------------------------------------------------------------
+    # Sampling period: analyze, (re)classify, partition
+    # ------------------------------------------------------------------
+    def on_sample_period(self, now: float) -> None:
+        machine = self.machine
+        assert machine is not None
+
+        samples = self.analyzer.analyze(machine)
+
+        if self._dynamic is not None:
+            pressures = [s.llc_pressure for s in samples if s.instructions > 0]
+            self.analyzer.bounds = self._dynamic.update(pressures)
+
+        if self.vparams.enable_partition:
+            decisions = periodical_partition(machine, now)
+            cost = self.vparams.partition_cost_per_vcpu_s * max(
+                len(decisions), 0
+            )
+            # The partitioning pass runs on one PCPU (dom0's), eating
+            # its guest time — the Table III "overhead time".
+            machine.charge_overhead("partition", machine.pcpus[0], cost)
+
+            if self.vparams.page_migration:
+                self._migrate_pages(machine, now, decisions)
+
+    def _migrate_pages(self, machine, now: float, decisions) -> None:
+        """§VI combined strategy: pull forced-remote VCPUs' pages local.
+
+        For each VCPU Algorithm 1 had to place off its affinity node,
+        copy a fraction of its hot slice to the assigned node and
+        charge the copy time.
+        """
+        for decision in decisions:
+            if decision.local:
+                self._remote_streak.pop(decision.vcpu_key, None)
+                continue
+            node, streak = self._remote_streak.get(decision.vcpu_key, (decision.node, 0))
+            streak = streak + 1 if node == decision.node else 1
+            self._remote_streak[decision.vcpu_key] = (decision.node, streak)
+            if streak < self.vparams.page_migration_patience:
+                continue
+            vcpu = machine.vcpus[decision.vcpu_key]
+            workload = vcpu.workload
+            moved = vcpu.domain.placement.migrate_slice(
+                workload.slice_id,
+                decision.node,
+                self.vparams.page_migration_fraction,
+                vcpu.domain.slice_bytes,
+            )
+            if moved <= 0:
+                continue
+            cost = moved / self.vparams.page_copy_bandwidth
+            machine.charge_overhead("page_migration", machine.pcpus[0], cost)
+            machine.log.emit(
+                now,
+                "page_migration",
+                vcpu=vcpu.name,
+                to_node=decision.node,
+                bytes=moved,
+            )
+
+    # ------------------------------------------------------------------
+    # Idle stealing: Algorithm 2
+    # ------------------------------------------------------------------
+    def steal(self, pcpu: Pcpu, now: float, under_only: bool = False) -> Optional[Vcpu]:
+        machine = self.machine
+        assert machine is not None
+        if self.vparams.enable_numa_lb:
+            return numa_aware_steal(machine, pcpu, now, under_only=under_only)
+        return super().steal(pcpu, now, under_only=under_only)
+
+    # ------------------------------------------------------------------
+    # Wake placement: the NUMA-aware balancer also serves wake pulls
+    # ------------------------------------------------------------------
+    def on_vcpu_wake(self, vcpu: Vcpu, now: float) -> int:
+        """Keep a waking VCPU on its node (assigned node if partitioned).
+
+        In Xen, the idler that reacts to a wake tickle pulls the VCPU
+        through the same load-balance path Algorithm 2 replaces, so
+        with the NUMA-aware balancer enabled a wake lands on the least
+        loaded PCPU of the VCPU's current (or partition-assigned) node
+        instead of bouncing NUMA-blind.
+        """
+        machine = self.machine
+        assert machine is not None
+        if not self.vparams.enable_numa_lb:
+            return super().on_vcpu_wake(vcpu, now)
+        if self.vparams.enable_partition and vcpu.assigned_node is not None:
+            node = vcpu.assigned_node
+        elif vcpu.pcpu is not None:
+            node = machine.topology.node_of_pcpu(vcpu.pcpu)
+        else:
+            node = 0
+        return machine.least_loaded_pcpu(node).pcpu_id
+
+    # ------------------------------------------------------------------
+    # Context switches: Perfctr-Xen counter save/restore cost
+    # ------------------------------------------------------------------
+    def on_context_switch(self, pcpu: Pcpu, prev: Optional[Vcpu], nxt: Optional[Vcpu]) -> None:
+        machine = self.machine
+        assert machine is not None
+        machine.charge_overhead("pmu", pcpu, machine.pmu.record_collection())
+
+
+def vprobe(
+    params: CreditParams | None = None,
+    bounds: Bounds | None = None,
+    dynamic_bounds: bool = False,
+    page_migration: bool = False,
+) -> VProbeScheduler:
+    """Full vProbe: analyzer + partitioning + NUMA-aware load balance.
+
+    ``page_migration`` additionally enables the §VI combined strategy.
+    """
+    return VProbeScheduler(
+        params,
+        VProbeParams(
+            bounds=bounds or Bounds(),
+            dynamic_bounds=dynamic_bounds,
+            page_migration=page_migration,
+        ),
+    )
+
+
+def vcpu_partition_only(
+    params: CreditParams | None = None, bounds: Bounds | None = None
+) -> VProbeScheduler:
+    """The paper's VCPU-P ablation: partitioning, NUMA-blind balancing."""
+    return VProbeScheduler(
+        params,
+        VProbeParams(bounds=bounds or Bounds(), enable_numa_lb=False),
+    )
+
+
+def load_balance_only(
+    params: CreditParams | None = None, bounds: Bounds | None = None
+) -> VProbeScheduler:
+    """The paper's LB ablation: NUMA-aware balancing, no partitioning."""
+    return VProbeScheduler(
+        params,
+        VProbeParams(bounds=bounds or Bounds(), enable_partition=False),
+    )

@@ -1,0 +1,127 @@
+"""Ablations beyond the paper's own (VCPU-P / LB are in Figs. 4-7).
+
+Three studies for the design choices DESIGN.md calls out:
+
+* **Dynamic bounds** (§VI future work): static Eq. 3 bounds vs the
+  quantile-tracking adaptation of :mod:`repro.core.bounds`, on the mix
+  workload whose pressure distribution straddles the static bounds.
+* **Affinity preference** (Algorithm 1, step "prefer
+  groupOfVc(type, MIN-NODE)"): vProbe with normal partitioning vs a
+  variant that ignores affinity when filling MIN-NODE, quantifying how
+  much of vProbe's win comes from locality vs pure LLC balance.
+* **Classification value**: vProbe with the standard classes vs with
+  bounds so extreme every VCPU looks LLC-FR (partitioning disabled in
+  effect), isolating the value of treating memory-intensive VCPUs
+  specially.
+* **Page migration** (§VI combined strategy): plain vProbe vs vProbe
+  that also migrates the hot pages of forced-remote VCPUs to their
+  assigned node, paying the copy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.classify import Bounds
+from repro.core.vprobe import VProbeParams, VProbeScheduler
+from repro.experiments.scenarios import ScenarioConfig, mix_scenario
+from repro.metrics.collectors import summarize
+from repro.metrics.report import format_table
+
+__all__ = [
+    "AblationResult",
+    "run_bounds_ablation",
+    "run_classification_ablation",
+    "run_page_migration_ablation",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AblationResult:
+    """Mix-workload runtime per ablation variant."""
+
+    runtime_s: Dict[str, float]
+    remote_ratio: Dict[str, float]
+
+    def format(self) -> str:
+        """Render variants side by side."""
+        rows = [
+            (name, self.runtime_s[name], self.remote_ratio[name] * 100.0)
+            for name in self.runtime_s
+        ]
+        return format_table(
+            ["variant", "mix runtime (s)", "remote (%)"], rows, float_fmt="{:.3f}"
+        )
+
+
+def _run_variant(policy: VProbeScheduler, cfg: ScenarioConfig):
+    machine = mix_scenario(policy, cfg)
+    machine.run()
+    return summarize(machine)
+
+
+def run_bounds_ablation(cfg: Optional[ScenarioConfig] = None) -> AblationResult:
+    """Static vs dynamic classification bounds on the mix workload."""
+    config = cfg or ScenarioConfig(work_scale=0.2)
+    variants = {
+        "static-bounds": VProbeScheduler(vparams=VProbeParams()),
+        "dynamic-bounds": VProbeScheduler(
+            vparams=VProbeParams(dynamic_bounds=True)
+        ),
+    }
+    runtime: Dict[str, float] = {}
+    remote: Dict[str, float] = {}
+    for name, policy in variants.items():
+        summary = _run_variant(policy, config)
+        stats = summary.domain("vm1")
+        runtime[name] = stats.mean_finish_time_s or float("nan")
+        remote[name] = stats.remote_ratio
+    return AblationResult(runtime_s=runtime, remote_ratio=remote)
+
+
+def run_page_migration_ablation(
+    cfg: Optional[ScenarioConfig] = None,
+) -> AblationResult:
+    """Plain vProbe vs the §VI combined VCPU+page migration strategy."""
+    config = cfg or ScenarioConfig(work_scale=0.2)
+    variants = {
+        "vcpu-only": VProbeScheduler(vparams=VProbeParams()),
+        "vcpu+page-migration": VProbeScheduler(
+            vparams=VProbeParams(page_migration=True)
+        ),
+    }
+    runtime: Dict[str, float] = {}
+    remote: Dict[str, float] = {}
+    for name, policy in variants.items():
+        summary = _run_variant(policy, config)
+        stats = summary.domain("vm1")
+        runtime[name] = stats.mean_finish_time_s or float("nan")
+        remote[name] = stats.remote_ratio
+    return AblationResult(runtime_s=runtime, remote_ratio=remote)
+
+
+def run_classification_ablation(
+    cfg: Optional[ScenarioConfig] = None,
+) -> AblationResult:
+    """Standard classes vs 'everything looks friendly' bounds.
+
+    With both bounds pushed above any observable pressure, no VCPU is
+    ever memory-intensive: partitioning becomes a no-op and only the
+    NUMA-aware balancer remains — quantifying what classification buys.
+    """
+    config = cfg or ScenarioConfig(work_scale=0.2)
+    variants = {
+        "standard-classes": VProbeScheduler(vparams=VProbeParams()),
+        "all-friendly": VProbeScheduler(
+            vparams=VProbeParams(bounds=Bounds(low=1e6, high=2e6))
+        ),
+    }
+    runtime: Dict[str, float] = {}
+    remote: Dict[str, float] = {}
+    for name, policy in variants.items():
+        summary = _run_variant(policy, config)
+        stats = summary.domain("vm1")
+        runtime[name] = stats.mean_finish_time_s or float("nan")
+        remote[name] = stats.remote_ratio
+    return AblationResult(runtime_s=runtime, remote_ratio=remote)

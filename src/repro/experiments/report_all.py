@@ -1,0 +1,107 @@
+"""Regenerate every table and figure in one command.
+
+``python -m repro.experiments.report_all [outdir] [--fast]`` runs the
+whole evaluation (Figs. 1, 3-8 and Table III plus the ablations) and
+writes each rendered table to ``outdir`` (default ``./results``).
+``--fast`` uses very small scales for a minutes-long smoke pass; the
+default scales match the benchmark harness.
+
+This is the scripted equivalent of
+``pytest benchmarks/ --benchmark-only`` without the timing machinery —
+useful on machines where pytest-benchmark is unavailable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+from typing import Callable, Tuple
+
+from repro.experiments import (
+    ScenarioConfig,
+    ablation,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table3,
+)
+
+__all__ = ["regenerate_all", "main"]
+
+
+def _jobs(fast: bool) -> Tuple[Tuple[str, Callable[[], str]], ...]:
+    scale = 0.05 if fast else 0.18
+    svc_scale = 0.04 if fast else 0.1
+    cfg = lambda ws, seed: ScenarioConfig(work_scale=ws, seed=seed)
+    return (
+        ("fig1_remote_ratios", lambda: fig1.run(cfg(scale * 0.8, 0)).format()),
+        ("fig3_llc_missrate_rpti", lambda: fig3.run(cfg(0.05, 0)).format()),
+        ("fig4_spec_cpu2006", lambda: fig4.run(cfg(scale, 1)).format()),
+        ("fig5_npb", lambda: fig5.run(cfg(scale, 2)).format()),
+        (
+            "fig6_memcached",
+            lambda: fig6.run(
+                cfg(svc_scale, 3), concurrencies=(16, 48, 80, 112)
+            ).format(),
+        ),
+        (
+            "fig7_redis",
+            lambda: fig7.run(
+                cfg(scale, 4), connections=(2000, 6000, 10000)
+            ).format(),
+        ),
+        ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0)).format()),
+        ("table3_overhead", lambda: table3.run(cfg(scale, 0)).format()),
+        (
+            "ablation_dynamic_bounds",
+            lambda: ablation.run_bounds_ablation(cfg(scale, 5)).format(),
+        ),
+        (
+            "ablation_page_migration",
+            lambda: ablation.run_page_migration_ablation(cfg(scale, 5)).format(),
+        ),
+    )
+
+
+def regenerate_all(
+    outdir: pathlib.Path,
+    fast: bool = False,
+    only: "tuple[str, ...] | None" = None,
+) -> None:
+    """Run every experiment and write one .txt per table/figure.
+
+    ``only`` optionally restricts to jobs whose name starts with one of
+    the given prefixes (used by smoke tests).
+    """
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, job in _jobs(fast):
+        if only is not None and not any(name.startswith(p) for p in only):
+            continue
+        start = time.perf_counter()
+        text = job()
+        elapsed = time.perf_counter() - start
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        print(f"[{elapsed:7.1f}s] {name}")
+        print(text)
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    fast = "--fast" in args
+    if fast:
+        args.remove("--fast")
+    outdir = pathlib.Path(args[0]) if args else pathlib.Path("results")
+    regenerate_all(outdir, fast=fast)
+    print(f"all tables written to {outdir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

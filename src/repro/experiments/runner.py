@@ -1,0 +1,112 @@
+"""Experiment runner: paired runs across scheduling approaches.
+
+Every comparison in the paper holds the workload fixed and swaps the
+scheduler.  The runner reproduces that pairing: all schedulers see the
+same scenario built from the same seed, so workload randomness (phase
+changes, service bursts) is identical across policies and differences
+are attributable to scheduling alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.scenarios import (
+    SCHEDULER_NAMES,
+    ScenarioConfig,
+    make_scheduler,
+)
+from repro.metrics.collectors import RunSummary, summarize
+from repro.xen.credit import SchedulerPolicy
+from repro.xen.simulator import Machine
+
+__all__ = ["ScenarioBuilder", "run_one", "compare", "compare_mean", "MeanStats"]
+
+#: A scenario builder: (policy, config) -> ready-to-run machine.
+ScenarioBuilder = Callable[[SchedulerPolicy, ScenarioConfig], Machine]
+
+
+def run_one(
+    builder: ScenarioBuilder,
+    scheduler: str,
+    cfg: ScenarioConfig,
+) -> RunSummary:
+    """Build and run one scenario under one scheduler."""
+    policy = make_scheduler(scheduler)
+    machine = builder(policy, cfg)
+    machine.run()
+    return summarize(machine)
+
+
+def compare(
+    builder: ScenarioBuilder,
+    cfg: ScenarioConfig,
+    schedulers: Optional[Iterable[str]] = None,
+) -> Dict[str, RunSummary]:
+    """Run the same scenario under several schedulers (paired seeds).
+
+    Returns summaries keyed by scheduler name, in the requested order.
+    """
+    names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
+    results: Dict[str, RunSummary] = {}
+    for name in names:
+        results[name] = run_one(builder, name, cfg)
+    return results
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MeanStats:
+    """Seed-averaged headline metrics for one scheduler."""
+
+    scheduler: str
+    seeds: int
+    mean_runtime_s: float
+    stdev_runtime_s: float
+    mean_remote_ratio: float
+
+    @property
+    def relative_stdev(self) -> float:
+        """Runtime noise level (stdev over mean; 0 for one seed)."""
+        if self.mean_runtime_s <= 0:
+            return 0.0
+        return self.stdev_runtime_s / self.mean_runtime_s
+
+
+def compare_mean(
+    builder: ScenarioBuilder,
+    cfg: ScenarioConfig,
+    schedulers: Optional[Iterable[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    domain: str = "vm1",
+) -> Dict[str, MeanStats]:
+    """Seed-averaged comparison: smooths initial-placement luck.
+
+    Every scheduler sees every seed (fully paired).  Use for reporting;
+    single-seed :func:`compare` remains the right tool when the full
+    :class:`RunSummary` is needed.
+    """
+    if not seeds:
+        raise ValueError("at least one seed required")
+    names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
+    runtimes: Dict[str, List[float]] = {n: [] for n in names}
+    remotes: Dict[str, List[float]] = {n: [] for n in names}
+    for seed in seeds:
+        seeded = dataclasses.replace(cfg, seed=seed)
+        for name, summary in compare(builder, seeded, names).items():
+            stats = summary.domain(domain)
+            runtimes[name].append(stats.mean_finish_time_s or float("nan"))
+            remotes[name].append(stats.remote_ratio)
+    return {
+        name: MeanStats(
+            scheduler=name,
+            seeds=len(seeds),
+            mean_runtime_s=statistics.fmean(runtimes[name]),
+            stdev_runtime_s=(
+                statistics.stdev(runtimes[name]) if len(seeds) > 1 else 0.0
+            ),
+            mean_remote_ratio=statistics.fmean(remotes[name]),
+        )
+        for name in names
+    }

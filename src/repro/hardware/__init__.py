@@ -1,0 +1,30 @@
+"""Hardware substrate: NUMA topology, shared-LLC, memory system, PMU.
+
+This package models the machine the paper measures on (Table I): a
+two-socket Intel Xeon E5620 with one 12 MB LLC per socket, one
+integrated memory controller (IMC) per node and two QPI links.  The
+models are analytic (occupancy shares, queueing factors) rather than
+cycle-accurate — the VCPU scheduler under study only observes topology,
+counter values and end-to-end stall costs, all of which these models
+expose.
+"""
+
+from repro.hardware.topology import NUMATopology, NodeSpec, xeon_e5620, symmetric_topology
+from repro.hardware.cache import CacheModel, CacheOccupancy, LLCState
+from repro.hardware.memory import MemorySystem, MemoryCosts, LatencySpec
+from repro.hardware.pmu import PMU, VcpuCounters
+
+__all__ = [
+    "NUMATopology",
+    "NodeSpec",
+    "xeon_e5620",
+    "symmetric_topology",
+    "CacheModel",
+    "CacheOccupancy",
+    "LLCState",
+    "MemorySystem",
+    "MemoryCosts",
+    "LatencySpec",
+    "PMU",
+    "VcpuCounters",
+]

@@ -1,0 +1,31 @@
+"""Measurement and reporting.
+
+Collectors aggregate a finished :class:`~repro.xen.simulator.Machine`
+into per-domain statistics (the paper's metrics: execution time, total
+and remote memory access counts, plus migration/overhead accounting);
+the report module normalises across schedulers and renders tables.
+"""
+
+from repro.metrics.collectors import DomainStats, MachineStats, RunSummary, summarize
+from repro.metrics.report import (
+    format_table,
+    improvement_pct,
+    normalize_map,
+    normalized,
+)
+from repro.metrics.timeseries import Snapshot, Trace, take_snapshot, trace_run
+
+__all__ = [
+    "DomainStats",
+    "MachineStats",
+    "RunSummary",
+    "summarize",
+    "normalized",
+    "normalize_map",
+    "improvement_pct",
+    "format_table",
+    "Snapshot",
+    "Trace",
+    "take_snapshot",
+    "trace_run",
+]

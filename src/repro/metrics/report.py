@@ -1,0 +1,90 @@
+"""Normalisation and table rendering for experiment reports.
+
+The paper reports most results *normalised to the Credit scheduler*
+(execution time, total and remote memory accesses); these helpers keep
+that arithmetic in one audited place and render fixed-width ASCII
+tables for the benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.util.validation import check_positive
+
+__all__ = ["normalized", "normalize_map", "improvement_pct", "format_table"]
+
+
+def normalized(value: float, baseline: float) -> float:
+    """``value / baseline`` with a positive-baseline check."""
+    check_positive(baseline, "baseline")
+    if value < 0:
+        raise ValueError(f"value must be >= 0, got {value}")
+    return value / baseline
+
+
+def normalize_map(
+    values: Mapping[str, float], baseline_key: str = "credit"
+) -> Dict[str, float]:
+    """Normalise every entry to the baseline entry.
+
+    Parameters
+    ----------
+    values:
+        Metric per scheduler name.
+    baseline_key:
+        Which entry is the denominator (the paper uses Credit).
+    """
+    if baseline_key not in values:
+        raise KeyError(
+            f"baseline {baseline_key!r} missing; have {sorted(values)}"
+        )
+    base = values[baseline_key]
+    return {k: normalized(v, base) for k, v in values.items()}
+
+
+def improvement_pct(candidate: float, reference: float) -> float:
+    """The paper's "X% improvement" for a lower-is-better metric.
+
+    ``improvement_pct(0.548, 1.0) == 45.2`` — i.e. vProbe's normalised
+    execution time of 0.548 vs Credit's 1.0 is reported as "45.2%
+    performance improvement compared with the Credit scheduler".
+    """
+    check_positive(reference, "reference")
+    if candidate < 0:
+        raise ValueError(f"candidate must be >= 0, got {candidate}")
+    return (1.0 - candidate / reference) * 100.0
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Columns are sized to their widest cell.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(text.ljust(widths[i]) for i, text in enumerate(cells)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG streams, validation, structured event log.
+
+These helpers are deliberately dependency-light so every other subpackage
+(hardware, xen, core, experiments) can rely on them without import cycles.
+"""
+
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.validation import (
+    check_fraction,
+    check_index,
+    check_non_negative,
+    check_positive,
+)
+from repro.util.eventlog import EventLog, LogEvent
+
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "check_fraction",
+    "check_index",
+    "check_non_negative",
+    "check_positive",
+    "EventLog",
+    "LogEvent",
+]

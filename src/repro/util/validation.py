@@ -1,0 +1,64 @@
+"""Small argument-validation helpers used across the simulator.
+
+The simulator is configuration-heavy (topologies, workload profiles,
+scheduler parameters); failing fast with a precise message at
+construction time is much cheaper than debugging a silently wrong
+contention solve thousands of epochs later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_index",
+    "check_probability_vector",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value`` to be a finite number > 0 and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be finite and > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value`` to be a finite number >= 0 and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``value`` in the closed interval [0, 1] and return it."""
+    check_non_negative(value, name)
+    if value > 1:
+        raise ValueError(f"{name} must be <= 1, got {value!r}")
+    return float(value)
+
+
+def check_index(value: int, bound: int, name: str) -> int:
+    """Require ``value`` to be an int in ``[0, bound)`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < bound:
+        raise ValueError(f"{name} must be in [0, {bound}), got {value}")
+    return value
+
+
+def check_probability_vector(values: Sequence[float], name: str) -> list[float]:
+    """Require ``values`` to be non-negative and sum to 1 (±1e-9)."""
+    vals = [check_non_negative(v, f"{name}[{i}]") for i, v in enumerate(values)]
+    total = sum(vals)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"{name} must sum to 1, got sum={total!r}")
+    return vals

@@ -1,0 +1,41 @@
+"""Workload models: analytic application profiles and generators.
+
+The real evaluation runs SPEC CPU2006, NPB, memcached and redis; those
+binaries are not reproducible here, so each application is modelled by
+the signature the scheduler actually observes — CPI, LLC references per
+kilo-instruction (RPTI), working-set size and miss-rate curve, page
+footprint, blocking behaviour and phase dynamics — calibrated to the
+paper's own Fig. 3 measurements.
+"""
+
+from repro.workloads.appmodel import (
+    ApplicationProfile,
+    BlockingSpec,
+    PhaseSpec,
+    VcpuWorkload,
+)
+from repro.workloads.suites import (
+    NPB_PROFILES,
+    SPEC_PROFILES,
+    get_profile,
+    hungry_loop,
+    profile_names,
+)
+from repro.workloads.services import memcached_profile, redis_profile
+from repro.workloads.generators import synthetic_profile, scaled_profile
+
+__all__ = [
+    "ApplicationProfile",
+    "BlockingSpec",
+    "PhaseSpec",
+    "VcpuWorkload",
+    "SPEC_PROFILES",
+    "NPB_PROFILES",
+    "get_profile",
+    "profile_names",
+    "hungry_loop",
+    "memcached_profile",
+    "redis_profile",
+    "synthetic_profile",
+    "scaled_profile",
+]

@@ -1,0 +1,283 @@
+"""Analytic application model.
+
+An :class:`ApplicationProfile` is the static signature of a program; a
+:class:`VcpuWorkload` is the live state of one VCPU executing it
+(remaining instructions, current phase, hot memory slice).
+
+The profile fields map one-to-one onto what the paper's machinery
+observes or what determines performance on its host:
+
+* ``cpi_base`` — cycles per instruction with a perfect memory system;
+* ``rpti`` — LLC references per kilo-instruction, the numerator of
+  vProbe's *LLC access pressure* (Eq. 2, α=1000 makes pressure ≈ RPTI);
+* ``working_set_bytes`` + miss-rate-curve parameters — LLC behaviour
+  (Fig. 3a) and contention sensitivity, defining the LLC-FR/FI/T
+  classes of §III-B2;
+* ``mlp`` — memory-level parallelism: overlapping misses divide the
+  per-miss stall seen by the pipeline;
+* ``slice_concentration`` — how strongly a VCPU's accesses focus on its
+  own memory slice; this is what makes *memory node affinity* (Eq. 1)
+  informative;
+* ``blocking`` — run/block alternation for request-driven services;
+* ``phase`` — working-set jitter and hot-slice rotation over time, the
+  source of staleness that penalises long sampling periods (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.cache import CacheDemand
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = ["BlockingSpec", "PhaseSpec", "ApplicationProfile", "VcpuWorkload"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockingSpec:
+    """Run/block alternation for I/O-driven workloads.
+
+    A VCPU runs for an exponentially distributed burst of mean
+    ``run_burst_s``, then blocks (waits for network/disk) for a burst of
+    mean ``block_s``.  CPU-bound programs have no BlockingSpec.
+    """
+
+    run_burst_s: float
+    block_s: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.run_burst_s, "run_burst_s")
+        check_non_negative(self.block_s, "block_s")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Long-run runnable fraction."""
+        return self.run_burst_s / (self.run_burst_s + self.block_s)
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """Phase dynamics: how the workload's behaviour drifts over time.
+
+    Attributes
+    ----------
+    mean_duration_s:
+        Mean phase length (exponentially distributed).
+    ws_jitter:
+        Each phase scales the working set by ``1 +- U(0, ws_jitter)``.
+    intensity_jitter:
+        Same for the LLC reference intensity (RPTI).
+    rotate_prob:
+        Probability that a phase change moves the VCPU's hot slice to a
+        different slice of the VM's memory (shifting its node affinity).
+    """
+
+    mean_duration_s: float = 2.0
+    ws_jitter: float = 0.2
+    intensity_jitter: float = 0.1
+    rotate_prob: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_duration_s, "mean_duration_s")
+        check_fraction(self.ws_jitter, "ws_jitter")
+        check_fraction(self.intensity_jitter, "intensity_jitter")
+        check_fraction(self.rotate_prob, "rotate_prob")
+
+
+@dataclass(frozen=True, slots=True)
+class ApplicationProfile:
+    """Static per-application signature (see module docstring)."""
+
+    name: str
+    cpi_base: float
+    rpti: float
+    working_set_bytes: float
+    min_miss_rate: float
+    max_miss_rate: float
+    curve_shape: float = 1.0
+    mlp: float = 4.0
+    total_instructions: Optional[float] = None
+    slice_concentration: float = 0.85
+    blocking: Optional[BlockingSpec] = None
+    phase: Optional[PhaseSpec] = None
+    #: First-touch locality feedback: fraction of the VCPU's memory
+    #: slice re-allocated/re-touched per second of running, landing on
+    #: the node it currently runs on.  High for allocation-churny
+    #: services, low for array codes, zero for pure compute loops.
+    touch_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        check_positive(self.cpi_base, "cpi_base")
+        check_non_negative(self.rpti, "rpti")
+        check_non_negative(self.working_set_bytes, "working_set_bytes")
+        check_fraction(self.min_miss_rate, "min_miss_rate")
+        check_fraction(self.max_miss_rate, "max_miss_rate")
+        if self.max_miss_rate < self.min_miss_rate:
+            raise ValueError("max_miss_rate must be >= min_miss_rate")
+        check_positive(self.curve_shape, "curve_shape")
+        check_positive(self.mlp, "mlp")
+        if self.total_instructions is not None:
+            check_positive(self.total_instructions, "total_instructions")
+        check_fraction(self.slice_concentration, "slice_concentration")
+        check_non_negative(self.touch_rate, "touch_rate")
+
+    @property
+    def refs_per_instruction(self) -> float:
+        """LLC references per single instruction."""
+        return self.rpti / 1000.0
+
+    def cache_demand(
+        self, ws_multiplier: float = 1.0, intensity_multiplier: float = 1.0
+    ) -> CacheDemand:
+        """Instantaneous LLC demand with phase multipliers applied."""
+        check_positive(ws_multiplier, "ws_multiplier")
+        check_positive(intensity_multiplier, "intensity_multiplier")
+        refs_per_cycle = self.refs_per_instruction / self.cpi_base
+        return CacheDemand(
+            working_set_bytes=self.working_set_bytes * ws_multiplier,
+            intensity=refs_per_cycle * intensity_multiplier,
+            min_miss_rate=self.min_miss_rate,
+            max_miss_rate=self.max_miss_rate,
+            curve_shape=self.curve_shape,
+        )
+
+    def with_overrides(self, **kwargs) -> "ApplicationProfile":
+        """A copy with the given fields replaced (for sweeps/ablations)."""
+        return replace(self, **kwargs)
+
+    @property
+    def is_finite(self) -> bool:
+        """True when the application terminates after a fixed work amount."""
+        return self.total_instructions is not None
+
+
+class VcpuWorkload:
+    """Live execution state of one VCPU running a profile.
+
+    Parameters
+    ----------
+    profile:
+        The application signature.
+    rng:
+        Per-VCPU generator for phase/blocking draws.
+    slice_id:
+        Which slice of the VM's memory this VCPU's hot pages start in
+        (typically its own VCPU index).
+    num_slices:
+        Slice count in the owning VM (for hot-slice rotation).
+    active:
+        Inactive workloads model idle guest VCPUs: never runnable.
+    """
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        rng: np.random.Generator,
+        slice_id: int = 0,
+        num_slices: int = 1,
+        active: bool = True,
+    ) -> None:
+        if num_slices <= 0:
+            raise ValueError(f"num_slices must be > 0, got {num_slices}")
+        if not 0 <= slice_id < num_slices:
+            raise ValueError(f"slice_id {slice_id} out of range [0, {num_slices})")
+        self.profile = profile
+        self.rng = rng
+        self.slice_id = slice_id
+        self.num_slices = num_slices
+        self.active = active
+
+        self.instructions_done = 0.0
+        self.ws_multiplier = 1.0
+        self.intensity_multiplier = 1.0
+        self._next_phase_change = self._draw_phase_end(0.0)
+        # cache_demand() is called every epoch but its inputs only
+        # change at phase boundaries; memoise on the multipliers.
+        self._demand_cache: Optional[CacheDemand] = None
+        self._demand_key = (1.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once a finite application has retired all its work."""
+        total = self.profile.total_instructions
+        return total is not None and self.instructions_done >= total
+
+    @property
+    def remaining_instructions(self) -> float:
+        """Instructions left (``inf`` for unbounded workloads)."""
+        total = self.profile.total_instructions
+        if total is None:
+            return float("inf")
+        return max(0.0, total - self.instructions_done)
+
+    def advance(self, instructions: float) -> None:
+        """Retire ``instructions`` of progress."""
+        check_non_negative(instructions, "instructions")
+        self.instructions_done += instructions
+
+    def cache_demand(self) -> CacheDemand:
+        """Current LLC demand (phase multipliers applied, memoised)."""
+        key = (self.ws_multiplier, self.intensity_multiplier)
+        if self._demand_cache is None or key != self._demand_key:
+            self._demand_cache = self.profile.cache_demand(*key)
+            self._demand_key = key
+        return self._demand_cache
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _draw_phase_end(self, now: float) -> float:
+        spec = self.profile.phase
+        if spec is None:
+            return float("inf")
+        return now + float(self.rng.exponential(spec.mean_duration_s))
+
+    def maybe_phase_change(self, now: float) -> bool:
+        """Apply a phase change if one is due; returns True if applied."""
+        spec = self.profile.phase
+        if spec is None or now < self._next_phase_change:
+            return False
+        jit = spec.ws_jitter
+        self.ws_multiplier = float(1.0 + self.rng.uniform(-jit, jit))
+        jit = spec.intensity_jitter
+        self.intensity_multiplier = float(1.0 + self.rng.uniform(-jit, jit))
+        if self.num_slices > 1 and self.rng.random() < spec.rotate_prob:
+            shift = int(self.rng.integers(1, self.num_slices))
+            self.slice_id = (self.slice_id + shift) % self.num_slices
+        self._next_phase_change = self._draw_phase_end(now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Blocking
+    # ------------------------------------------------------------------
+    def draw_run_burst(self) -> float:
+        """Length of the next runnable burst in seconds (inf if CPU-bound)."""
+        spec = self.profile.blocking
+        if spec is None:
+            return float("inf")
+        return float(self.rng.exponential(spec.run_burst_s))
+
+    def draw_block_time(self) -> float:
+        """Length of the next blocked period in seconds (0 if CPU-bound)."""
+        spec = self.profile.blocking
+        if spec is None or spec.block_s <= 0:
+            return 0.0
+        return float(self.rng.exponential(spec.block_s))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VcpuWorkload({self.profile.name!r}, slice={self.slice_id}, "
+            f"done={self.instructions_done:.3g})"
+        )

@@ -1,0 +1,84 @@
+"""Synthetic workload generators.
+
+Used by tests and ablation benches to construct applications with a
+prescribed LLC class or to rescale suite profiles so an experiment
+finishes quickly without changing its relative behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.workloads.appmodel import ApplicationProfile, PhaseSpec
+from repro.util.validation import check_positive
+
+__all__ = ["synthetic_profile", "scaled_profile", "CLASS_PRESETS"]
+
+MIB = 1024**2
+
+#: Parameter presets per LLC class: (rpti, ws_mib, min_mr, max_mr).
+#: RPTI values sit safely inside the paper's class bounds (3 and 20).
+CLASS_PRESETS = {
+    "llc-fr": (1.0, 0.5, 0.02, 0.20),
+    "llc-fi": (12.0, 9.0, 0.06, 0.70),
+    "llc-t": (25.0, 36.0, 0.45, 0.90),
+}
+
+
+def synthetic_profile(
+    llc_class: Literal["llc-fr", "llc-fi", "llc-t"],
+    name: str | None = None,
+    total_instructions: float | None = 5e9,
+    with_phases: bool = True,
+) -> ApplicationProfile:
+    """Build an application that lands squarely in ``llc_class``.
+
+    Parameters
+    ----------
+    llc_class:
+        Target classification under the paper's default bounds.
+    name:
+        Profile name; defaults to ``synthetic-<class>``.
+    total_instructions:
+        Work before completion, or None for an unbounded workload.
+    with_phases:
+        Whether to give the profile the standard phase dynamics.
+    """
+    try:
+        rpti, ws_mib, min_mr, max_mr = CLASS_PRESETS[llc_class]
+    except KeyError:
+        raise ValueError(
+            f"unknown llc_class {llc_class!r}; expected one of {sorted(CLASS_PRESETS)}"
+        ) from None
+    phases = (
+        PhaseSpec(mean_duration_s=2.0, ws_jitter=0.15, intensity_jitter=0.1, rotate_prob=0.3)
+        if with_phases
+        else None
+    )
+    return ApplicationProfile(
+        name=name or f"synthetic-{llc_class}",
+        cpi_base=1.0,
+        rpti=rpti,
+        working_set_bytes=ws_mib * MIB,
+        min_miss_rate=min_mr,
+        max_miss_rate=max_mr,
+        curve_shape=1.1,
+        mlp=4.0,
+        total_instructions=total_instructions,
+        phase=phases,
+    )
+
+
+def scaled_profile(profile: ApplicationProfile, work_scale: float) -> ApplicationProfile:
+    """Rescale a profile's total work by ``work_scale``.
+
+    Shortening runs speeds experiments and tests without altering any of
+    the per-instruction behaviour the schedulers react to.  Unbounded
+    profiles are returned unchanged.
+    """
+    check_positive(work_scale, "work_scale")
+    if profile.total_instructions is None:
+        return profile
+    return profile.with_overrides(
+        total_instructions=profile.total_instructions * work_scale
+    )

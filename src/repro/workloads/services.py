@@ -1,0 +1,157 @@
+"""Request-driven service models: memcached and redis.
+
+The paper drives memcached with ``memslap`` (16-112 concurrent calls,
+50 000 iterations) and redis with ``redis-benchmark`` (2 000-10 000
+parallel connections, 100 M ``get`` requests).  We model the *server*
+side as profiles whose load-dependent knobs reproduce the published
+crossovers:
+
+* **Duty cycle.**  At low concurrency, workers spend much of their time
+  blocked waiting for requests; PCPUs idle often, so the idle-steal
+  load-balance path dominates performance (the paper finds LB beats
+  VCPU-P at 16-32 calls).  As concurrency grows, workers saturate.
+* **Working set.**  Connection state and the touched key range grow
+  with concurrency, pushing the servers from LLC-fitting toward
+  LLC-thrashing — which is why VCPU partitioning wins at high load
+  (the paper finds VCPU-P beats LB from ~48 calls up, and throughout
+  for redis, whose per-connection footprint is larger).
+
+Both factories return finite-work profiles: total instructions encode
+the fixed request count, so the paper's "execution time" (memcached)
+and "throughput = requests / runtime" (redis) fall out directly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.appmodel import ApplicationProfile, BlockingSpec, PhaseSpec
+
+__all__ = [
+    "memcached_profile",
+    "redis_profile",
+    "MEMCACHED_INSTR_PER_OP",
+    "REDIS_INSTR_PER_OP",
+]
+
+MIB = 1024**2
+KIB = 1024
+
+#: Server-side instruction cost of one memcached get/set round trip.
+MEMCACHED_INSTR_PER_OP = 25e3
+
+#: Server-side instruction cost of one redis ``get``.
+REDIS_INSTR_PER_OP = 40e3
+
+#: Service phases: connection churn shifts the hot key range slowly.
+_SERVICE_PHASES = PhaseSpec(
+    mean_duration_s=3.0, ws_jitter=0.15, intensity_jitter=0.1, rotate_prob=0.25
+)
+
+
+def memcached_profile(
+    concurrency: int,
+    total_ops: float = 200e3,
+    workers: int = 8,
+) -> ApplicationProfile:
+    """Memcached server profile under ``concurrency`` memslap callers.
+
+    Parameters
+    ----------
+    concurrency:
+        Concurrent client calls (paper sweeps 16..112).
+    total_ops:
+        Operations each worker VCPU must serve before the run completes
+        (the memslap iteration count split over workers).
+    workers:
+        Worker threads per server (the paper configures 8 ports).
+    """
+    if concurrency <= 0:
+        raise ValueError(f"concurrency must be > 0, got {concurrency}")
+    if workers <= 0:
+        raise ValueError(f"workers must be > 0, got {workers}")
+
+    # Duty cycle: each worker saturates once ~8 outstanding calls are
+    # available to it; below that it blocks between request batches.
+    # Even saturated epoll loops still sleep briefly (syscalls, nic
+    # interrupts), so the duty cycle is capped below 1.  Run bursts
+    # lengthen as load grows — a saturated event loop drains bigger
+    # batches between sleeps — so wakeups (and the scheduler's
+    # wake-time placement decisions) dominate at low load while
+    # placement stability dominates at high load.
+    duty = min(0.95, concurrency / (workers * 8.0))
+    run_burst = 15e-3 / max(0.05, 1.0 - duty)
+    block = run_burst * (1.0 - duty) / max(duty, 0.05)
+
+    # Footprint: base server state plus per-connection buffers and the
+    # touched slab range.  16 calls -> ~8 MiB (fits); 112 -> ~32 MiB.
+    working_set = 4 * MIB + concurrency * 256 * KIB
+
+    # More concurrent connections also raise pointer-chasing per op.
+    rpti = 12.0 + 0.08 * concurrency
+
+    return ApplicationProfile(
+        name=f"memcached-c{concurrency}",
+        cpi_base=1.0,
+        rpti=rpti,
+        working_set_bytes=working_set,
+        min_miss_rate=0.08,
+        max_miss_rate=0.85,
+        curve_shape=0.9,
+        mlp=3.0,
+        total_instructions=total_ops * MEMCACHED_INSTR_PER_OP,
+        slice_concentration=0.75,
+        blocking=BlockingSpec(run_burst_s=run_burst, block_s=block),
+        phase=_SERVICE_PHASES,
+        touch_rate=0.25,
+    )
+
+
+def redis_profile(
+    connections: int,
+    total_requests: float = 400e3,
+    servers: int = 4,
+) -> ApplicationProfile:
+    """Redis server profile under ``connections`` parallel connections.
+
+    Parameters
+    ----------
+    connections:
+        Parallel client connections (paper sweeps 2000..10000).
+    total_requests:
+        Requests each server VCPU must serve before the run completes.
+    servers:
+        Redis instances per VM (the paper runs four, single-threaded).
+    """
+    if connections <= 0:
+        raise ValueError(f"connections must be > 0, got {connections}")
+    if servers <= 0:
+        raise ValueError(f"servers must be > 0, got {servers}")
+
+    # Thousands of connections keep single-threaded redis servers
+    # saturated; a small blocked fraction remains from event-loop
+    # waits.  As for memcached, batch (run-burst) length grows with
+    # load.
+    duty = min(0.95, connections / 1000.0)
+    run_burst = 20e-3 / max(0.05, 1.0 - duty)
+    block = run_burst * (1.0 - duty) / max(duty, 0.05)
+
+    # Per-connection buffers dominate the footprint at this scale:
+    # 2000 conns -> ~12 MiB (the socket LLC size), 10000 -> ~35 MiB.
+    working_set = 6 * MIB + connections * 3 * KIB
+
+    rpti = 16.0 + 0.0008 * connections
+
+    return ApplicationProfile(
+        name=f"redis-n{connections}",
+        cpi_base=1.1,
+        rpti=rpti,
+        working_set_bytes=working_set,
+        min_miss_rate=0.10,
+        max_miss_rate=0.88,
+        curve_shape=0.9,
+        mlp=3.0,
+        total_instructions=total_requests * REDIS_INSTR_PER_OP,
+        slice_concentration=0.75,
+        blocking=BlockingSpec(run_burst_s=run_burst, block_s=block),
+        phase=_SERVICE_PHASES,
+        touch_rate=0.25,
+    )

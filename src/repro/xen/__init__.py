@@ -1,0 +1,34 @@
+"""Xen hypervisor substrate: domains, VCPUs, PCPUs, Credit scheduler,
+and the epoch-based machine simulator they all run on.
+
+This package re-implements (as a simulation) the parts of Xen 4.0.1
+that the paper's prototype modifies: the Credit scheduler's accounting
+and NUMA-blind idle-stealing load balancer, per-domain memory placement,
+and the context-switch points where Perfctr-Xen collects counters.
+"""
+
+from repro.xen.vcpu import Vcpu, VcpuState
+from repro.xen.runqueue import RunQueue
+from repro.xen.pcpu import Pcpu
+from repro.xen.domain import Domain
+from repro.xen.memalloc import MemoryPlacement, place_split, place_single_node, place_interleaved
+from repro.xen.credit import CreditScheduler, CreditParams, SchedulerPolicy
+from repro.xen.simulator import Machine, SimConfig, SimResult
+
+__all__ = [
+    "Vcpu",
+    "VcpuState",
+    "RunQueue",
+    "Pcpu",
+    "Domain",
+    "MemoryPlacement",
+    "place_split",
+    "place_single_node",
+    "place_interleaved",
+    "SchedulerPolicy",
+    "CreditScheduler",
+    "CreditParams",
+    "Machine",
+    "SimConfig",
+    "SimResult",
+]

@@ -1,0 +1,169 @@
+"""Per-PCPU run queue with Credit's three-priority discipline.
+
+Xen 4.0's Credit scheduler keeps one queue per PCPU ordered by class —
+BOOST (just woken from sleep), UNDER (credits remaining), OVER
+(credits exhausted) — FIFO within each class.  BOOST is the mechanism
+behind Credit's I/O responsiveness *and* its migration churn: boosted
+VCPUs preempt immediately and are what the NUMA-blind balancer steals
+across sockets (§II-B's "frequent migrations").
+
+The queue also exposes the scan/remove operations the load balancers
+need: remove a specific VCPU, pop restricted to a priority ceiling,
+and pick the queued VCPU minimising an arbitrary key (vProbe steals
+the smallest LLC pressure, regardless of class — Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
+
+from repro.xen.vcpu import Vcpu, VcpuState
+
+__all__ = ["RunQueue"]
+
+
+class RunQueue:
+    """Three-class FIFO run queue (BOOST before UNDER before OVER)."""
+
+    def __init__(self) -> None:
+        self._classes: Tuple[Deque[Vcpu], Deque[Vcpu], Deque[Vcpu]] = (
+            deque(),
+            deque(),
+            deque(),
+        )
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._classes)
+
+    def __bool__(self) -> bool:
+        return any(self._classes)
+
+    def __iter__(self) -> Iterator[Vcpu]:
+        """Iterate in scheduling order (class by class, FIFO within)."""
+        for q in self._classes:
+            yield from q
+
+    def __contains__(self, vcpu: Vcpu) -> bool:
+        return any(vcpu in q for q in self._classes)
+
+    def push(self, vcpu: Vcpu) -> None:
+        """Enqueue at the tail of the VCPU's priority class.
+
+        Raises
+        ------
+        ValueError
+            If the VCPU is not in a queueable state or already queued.
+        """
+        if vcpu.state is not VcpuState.RUNNABLE:
+            raise ValueError(f"cannot enqueue {vcpu!r}: state is {vcpu.state.value}")
+        if vcpu in self:
+            raise ValueError(f"{vcpu!r} is already queued")
+        self._classes[vcpu.priority_rank].append(vcpu)
+
+    def pop(self) -> Optional[Vcpu]:
+        """Dequeue the head (best class, oldest); None when empty."""
+        for q in self._classes:
+            if q:
+                return q.popleft()
+        return None
+
+    def pop_rank_at_most(self, max_rank: int) -> Optional[Vcpu]:
+        """Dequeue the head VCPU whose class is ``max_rank`` or better.
+
+        Used by the Credit balancer, which only steals work strictly
+        more urgent than what the thief would otherwise run.
+        """
+        for rank, q in enumerate(self._classes):
+            if rank > max_rank:
+                break
+            if q:
+                return q.popleft()
+        return None
+
+    def peek(self) -> Optional[Vcpu]:
+        """The VCPU :meth:`pop` would return, without removing it."""
+        for q in self._classes:
+            if q:
+                return q[0]
+        return None
+
+    def steal_candidate(self, max_rank: int, predicate: Callable[[Vcpu], bool]) -> Optional[Vcpu]:
+        """First queued VCPU of class <= ``max_rank`` satisfying ``predicate``.
+
+        Scans in scheduling order and does not remove; callers
+        :meth:`remove` the returned VCPU once committed.
+        """
+        for rank, q in enumerate(self._classes):
+            if rank > max_rank:
+                break
+            for vcpu in q:
+                if predicate(vcpu):
+                    return vcpu
+        return None
+
+    def head_rank(self) -> Optional[int]:
+        """Priority rank of the queue head (None when empty)."""
+        for rank, q in enumerate(self._classes):
+            if q:
+                return rank
+        return None
+
+    def remove(self, vcpu: Vcpu) -> bool:
+        """Remove a specific VCPU; returns False if it was not queued."""
+        for q in self._classes:
+            try:
+                q.remove(vcpu)
+                return True
+            except ValueError:
+                continue
+        return False
+
+    def snapshot(self) -> List[Vcpu]:
+        """A list copy in scheduling order (for scans that may mutate)."""
+        return list(self)
+
+    def min_by(
+        self,
+        key: Callable[[Vcpu], float],
+        max_rank: int = 2,
+    ) -> Optional[Vcpu]:
+        """The queued VCPU minimising ``key`` (ties: scheduling order).
+
+        ``max_rank`` optionally restricts the pool to classes at least
+        that urgent (0 = BOOST only, 1 = BOOST+UNDER, 2 = all).
+        """
+        best: Optional[Vcpu] = None
+        best_val = float("inf")
+        for rank, q in enumerate(self._classes):
+            if rank > max_rank:
+                break
+            for vcpu in q:
+                val = key(vcpu)
+                if val < best_val:
+                    best, best_val = vcpu, val
+        return best
+
+    def has_priority_over(self, running: Optional[Vcpu]) -> bool:
+        """Would the queue head preempt ``running`` under Credit rules?
+
+        A head of a strictly better class preempts; nothing preempts
+        within the same class mid-slice.
+        """
+        head_rank = self.head_rank()
+        if head_rank is None:
+            return False
+        if running is None:
+            return True
+        return head_rank < running.priority_rank
+
+    def requeue_all(self) -> List[Vcpu]:
+        """Drain the queue, returning VCPUs in scheduling order.
+
+        Used when priorities were recomputed and class membership may
+        have changed; callers re-:meth:`push` the drained VCPUs.
+        """
+        drained = list(self)
+        for q in self._classes:
+            q.clear()
+        return drained

@@ -1,0 +1,559 @@
+"""Epoch-based machine simulator.
+
+Global time advances in fixed epochs (default 1 ms).  Within an epoch
+the VCPU->PCPU assignment is frozen; a contention solve prices that
+assignment (LLC occupancy per socket, then IMC/QPI queueing), progress
+and PMU counters advance in one pass, and scheduler logic runs between
+epochs at its natural boundaries: 10 ms Credit ticks, 30 ms slices, and
+the vProbe sampling period.
+
+This is the "machine" the schedulers under study run on.  Everything a
+scheduler can observe or cause — counter values, migration cold caches,
+hypervisor overhead eating guest time — flows through here, so the
+measure->decide->perform feedback loop is closed exactly as on the
+paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.cache import CacheModel
+from repro.hardware.memory import BYTES_PER_MISS, LatencySpec, MemorySystem
+from repro.hardware.pmu import PMU
+from repro.hardware.topology import NUMATopology
+from repro.util.eventlog import EventLog
+from repro.util.rng import RngStreams
+from repro.util.validation import check_positive
+from repro.xen.credit import SchedulerPolicy
+from repro.xen.domain import Domain
+from repro.xen.memalloc import MemoryPlacement
+from repro.xen.pcpu import Pcpu
+from repro.xen.vcpu import Vcpu, VcpuState
+
+__all__ = ["SimConfig", "SimResult", "Machine"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimConfig:
+    """Simulation parameters.
+
+    Attributes
+    ----------
+    epoch_s:
+        Contention-solve granularity; must divide the Credit tick.
+    sample_period_s:
+        vProbe sampling period (§IV-B default 1 s; swept in Fig. 8).
+    max_time_s:
+        Hard stop for the run.
+    seed:
+        Root seed for all stochastic streams.
+    latency:
+        Memory-system base latencies.
+    log_events:
+        Record the structured event log (off for long benches).
+    contention_iterations:
+        Fixed-point iterations of the traffic->queueing->rate solve.
+    pmu_collection_cost_s:
+        Hypervisor time per counter collection event.
+    stop_on_finite_completion:
+        Stop once every finite active workload has completed.
+    """
+
+    epoch_s: float = 1e-3
+    sample_period_s: float = 1.0
+    max_time_s: float = 120.0
+    seed: int = 0
+    latency: LatencySpec = field(default_factory=LatencySpec)
+    log_events: bool = False
+    contention_iterations: int = 2
+    pmu_collection_cost_s: float = 0.3e-6
+    stop_on_finite_completion: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.epoch_s, "epoch_s")
+        check_positive(self.sample_period_s, "sample_period_s")
+        check_positive(self.max_time_s, "max_time_s")
+        if self.contention_iterations < 1:
+            raise ValueError("contention_iterations must be >= 1")
+        if self.pmu_collection_cost_s < 0:
+            raise ValueError("pmu_collection_cost_s must be >= 0")
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    sim_time_s: float  #: virtual time when the run stopped
+    completed: bool  #: True if all finite workloads finished in time
+    machine: "Machine"  #: the machine, for post-hoc inspection
+
+    def finish_time(self, domain_name: str) -> Optional[float]:
+        """Mean finish time of a domain's finite VCPUs."""
+        return self.machine.domain(domain_name).mean_finish_time()
+
+
+class Machine:
+    """A virtualised NUMA host under one scheduling policy.
+
+    Parameters
+    ----------
+    topology:
+        The physical machine.
+    policy:
+        Scheduler under test (attached on construction).
+    config:
+        Simulation parameters.
+    """
+
+    def __init__(
+        self,
+        topology: NUMATopology,
+        policy: SchedulerPolicy,
+        config: SimConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy
+        self.config = config or SimConfig()
+
+        tick = policy.params.tick_s
+        ratio = tick / self.config.epoch_s
+        if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+            raise ValueError(
+                f"epoch_s ({self.config.epoch_s}) must evenly divide the "
+                f"scheduler tick ({tick})"
+            )
+        self._epochs_per_tick = int(round(ratio))
+        self._epochs_per_sample = max(
+            1, int(round(self.config.sample_period_s / self.config.epoch_s))
+        )
+
+        self.rng = RngStreams(self.config.seed)
+        self.pcpus: List[Pcpu] = [
+            Pcpu(i, topology.node_of_pcpu(i)) for i in range(topology.num_pcpus)
+        ]
+        self.caches: List[CacheModel] = [
+            CacheModel(node.llc_bytes) for node in topology.nodes
+        ]
+        self.memsys = MemorySystem(topology, self.config.latency)
+        self.pmu = PMU(topology.num_nodes, self.config.pmu_collection_cost_s)
+        self.log = EventLog(enabled=self.config.log_events)
+
+        self.domains: List[Domain] = []
+        self.vcpus: List[Vcpu] = []
+
+        self.time = 0.0
+        self.epoch_index = 0
+        self.tick_index = 0
+        self.context_switches = 0
+        self.migrations = 0
+        self.cross_node_migrations = 0
+        self.steals_local = 0
+        self.steals_remote = 0
+        self.overhead_s: Dict[str, float] = {}
+        self.busy_time_s = 0.0
+        self._place_counter = 0
+
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_domain(self, domain: Domain) -> Domain:
+        """Register a domain: create VCPUs and place them NUMA-blind.
+
+        Xen 4.0.1 picks each new VCPU's processor by instantaneous
+        load with no knowledge of where the domain's memory landed, so
+        unpinned VCPUs start on a seeded-random PCPU.  Calibration
+        scenarios that pin VCPUs (§IV-A) pass ``Domain.pinned_pcpus``.
+        """
+        if any(d.name == domain.name for d in self.domains):
+            raise ValueError(f"duplicate domain name {domain.name!r}")
+        if domain.placement.num_nodes != self.topology.num_nodes:
+            raise ValueError(
+                f"domain {domain.name!r} placement spans "
+                f"{domain.placement.num_nodes} nodes, machine has "
+                f"{self.topology.num_nodes}"
+            )
+        self.domains.append(domain)
+        place_rng = self.rng.get("placement")
+        for i, workload in enumerate(domain.workloads):
+            key = len(self.vcpus)
+            vcpu = Vcpu(key, domain, i, workload)
+            self.vcpus.append(vcpu)
+            domain.vcpus.append(vcpu)
+            self.pmu.register(key)
+            if domain.pinned_pcpus is not None:
+                vcpu.pcpu = domain.pinned_pcpus[i]
+            else:
+                vcpu.pcpu = int(place_rng.integers(len(self.pcpus)))
+            self._place_counter += 1
+            if workload.active:
+                vcpu.state = VcpuState.RUNNABLE
+                vcpu.run_burst_remaining_s = workload.draw_run_burst()
+                self.pcpus[vcpu.pcpu].queue.push(vcpu)
+            else:
+                vcpu.state = VcpuState.BLOCKED
+                vcpu.wake_time = float("inf")
+
+        # First-touch: the guest faults its data in from wherever its
+        # threads start, so each slice begins on its VCPU's initial node.
+        if domain.first_touch_init:
+            matrix = np.zeros((domain.num_vcpus, self.topology.num_nodes))
+            for vcpu in domain.vcpus:
+                matrix[vcpu.index, self.topology.node_of_pcpu(vcpu.pcpu)] = 1.0
+            domain.placement = MemoryPlacement(matrix)
+        return domain
+
+    def domain(self, name: str) -> Domain:
+        """Look up a domain by name."""
+        for d in self.domains:
+            if d.name == name:
+                return d
+        raise KeyError(f"no domain named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Mechanics used by policies
+    # ------------------------------------------------------------------
+    def charge_overhead(self, source: str, pcpu: Pcpu, seconds: float) -> None:
+        """Charge hypervisor time to a PCPU, tracked per source."""
+        if seconds <= 0:
+            return
+        pcpu.charge_overhead(seconds)
+        self.overhead_s[source] = self.overhead_s.get(source, 0.0) + seconds
+
+    def preempt(self, pcpu: Pcpu, now: float) -> None:
+        """Deschedule the running VCPU to its queue tail.
+
+        The PCPU is left empty; the next scheduling pass refills it
+        through the normal pick/steal path (so a preemption point is
+        also a balancing opportunity, as in Xen's ``schedule()``).
+        """
+        cur = pcpu.current
+        if cur is None:
+            return
+        cur.stop_run(now)
+        pcpu.current = None
+        pcpu.queue.push(cur)
+
+    def migrate_vcpu(self, vcpu: Vcpu, to_pcpu_id: int, now: float, reason: str) -> None:
+        """Move a VCPU to another PCPU (partitioning / BRM migrations)."""
+        target = self.pcpus[to_pcpu_id]
+        source_id = vcpu.pcpu
+        if source_id == to_pcpu_id:
+            return
+        cross = (
+            source_id is None
+            or self.topology.node_of_pcpu(source_id) != target.node
+        )
+        if vcpu.state is VcpuState.RUNNING:
+            src = self.pcpus[source_id]
+            assert src.current is vcpu
+            src.current = None
+            vcpu.stop_run(now)
+            self.policy.on_context_switch(src, vcpu, None)
+            self.context_switches += 1
+        elif vcpu.state is VcpuState.RUNNABLE and source_id is not None:
+            self.pcpus[source_id].queue.remove(vcpu)
+        vcpu.pcpu = to_pcpu_id
+        if vcpu.state is VcpuState.RUNNABLE:
+            target.queue.push(vcpu)
+        vcpu.record_migration(cross)
+        self.migrations += 1
+        if cross:
+            self.cross_node_migrations += 1
+        self.log.emit(
+            now, "migrate", vcpu=vcpu.name, to_pcpu=to_pcpu_id, cross=cross, reason=reason
+        )
+
+    def swap_in_stolen(self, pcpu: Pcpu, stolen: Vcpu, now: float) -> None:
+        """Preempt ``pcpu``'s current VCPU in favour of a stolen one.
+
+        Used by the tick-time balancing path: the (OVER) incumbent goes
+        back to the local queue tail and the stolen UNDER VCPU runs.
+        """
+        self._account_steal(pcpu, stolen, now)
+        cur = pcpu.current
+        if cur is not None:
+            cur.stop_run(now)
+            pcpu.current = None
+            pcpu.queue.push(cur)
+        self._switch_in(pcpu, stolen, now)
+
+    def least_loaded_pcpu(self, node: int) -> Pcpu:
+        """The PCPU on ``node`` with the smallest load (ties: lowest id)."""
+        candidates = [self.pcpus[p] for p in self.topology.pcpus_of_node(node)]
+        return min(candidates, key=lambda p: (p.load_with_current, p.pcpu_id))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_time_s: Optional[float] = None) -> SimResult:
+        """Advance the simulation until completion or the time limit."""
+        limit = max_time_s if max_time_s is not None else self.config.max_time_s
+        while self.time < limit - 1e-12:
+            self._step_epoch()
+            if self.config.stop_on_finite_completion and self._all_finite_done():
+                return SimResult(sim_time_s=self.time, completed=True, machine=self)
+        return SimResult(
+            sim_time_s=self.time, completed=self._all_finite_done(), machine=self
+        )
+
+    def _all_finite_done(self) -> bool:
+        """True when finite work exists and all of it has completed.
+
+        A machine running only unbounded workloads (hungry loops,
+        services without a request budget) never "completes" — it runs
+        to the time limit.
+        """
+        has_finite = any(
+            w.active and w.profile.is_finite
+            for d in self.domains
+            for w in d.workloads
+        )
+        return has_finite and all(d.finite_workloads_done for d in self.domains)
+
+    # ------------------------------------------------------------------
+    # One epoch
+    # ------------------------------------------------------------------
+    def _step_epoch(self) -> None:
+        now = self.time
+        epoch = self.config.epoch_s
+
+        # 1. Credit tick (credits, preemption) and PMU refresh charges.
+        if self.epoch_index % self._epochs_per_tick == 0:
+            self.policy.on_tick(now, self.tick_index)
+            if self.policy.collects_pmu:
+                for pcpu in self.pcpus:
+                    if pcpu.current is not None:
+                        self.charge_overhead(
+                            "pmu", pcpu, self.pmu.record_collection()
+                        )
+            self.tick_index += 1
+
+        # 2. Wakeups: a VCPU waking from sleep gets BOOST priority and
+        # preempts a lower-class incumbent on its PCPU (__runq_tickle).
+        for vcpu in self.vcpus:
+            if vcpu.state is VcpuState.BLOCKED and vcpu.wake_time <= now:
+                vcpu.state = VcpuState.RUNNABLE
+                vcpu.wake_time = float("inf")
+                vcpu.boosted = True
+                vcpu.run_burst_remaining_s = vcpu.workload.draw_run_burst()
+                target = self.policy.on_vcpu_wake(vcpu, now)
+                if vcpu.pcpu is not None and target != vcpu.pcpu:
+                    cross = self.topology.node_of_pcpu(vcpu.pcpu) != (
+                        self.topology.node_of_pcpu(target)
+                    )
+                    vcpu.record_migration(cross)
+                    self.migrations += 1
+                    if cross:
+                        self.cross_node_migrations += 1
+                    self.log.emit(
+                        now, "wake_migrate", vcpu=vcpu.name, to_pcpu=target, cross=cross
+                    )
+                vcpu.pcpu = target
+                target_pcpu = self.pcpus[target]
+                target_pcpu.queue.push(vcpu)
+                cur = target_pcpu.current
+                if cur is not None and vcpu.priority_rank < cur.priority_rank:
+                    self.preempt(target_pcpu, now)
+
+        # 3. Scheduling pass: fill idle PCPUs, stealing if needed.
+        # Like Xen's schedule(): prefer a local UNDER candidate; if the
+        # best local work is OVER (or none), give the balancer a chance
+        # to find an UNDER VCPU elsewhere before settling for it.
+        for pcpu in self.pcpus:
+            cur = pcpu.current
+            if cur is not None and not cur.runnable:
+                pcpu.current = None
+                cur = None
+            if cur is None:
+                # Local candidate first; if it is OVER (or the queue is
+                # empty), the balancer may find strictly better work
+                # elsewhere (Xen's csched_load_balance condition).
+                head_rank = pcpu.queue.head_rank()
+                nxt: Optional[Vcpu] = None
+                if head_rank is None or head_rank >= 2:
+                    nxt = self.policy.steal(
+                        pcpu, now, under_only=head_rank is not None
+                    )
+                    if nxt is not None:
+                        self._account_steal(pcpu, nxt, now)
+                if nxt is None:
+                    nxt = pcpu.queue.pop()
+                if nxt is not None:
+                    self._switch_in(pcpu, nxt, now)
+
+        # 4. Contention solve and progress.
+        self._advance_running(now, epoch)
+
+        # 5. Phase changes (cheap check per active workload).
+        end = now + epoch
+        for vcpu in self.vcpus:
+            w = vcpu.workload
+            if w.active and not w.done and w.maybe_phase_change(end):
+                self.log.emit(end, "phase_change", vcpu=vcpu.name, slice=w.slice_id)
+
+        # 6. Sampling-period boundary.
+        if (self.epoch_index + 1) % self._epochs_per_sample == 0:
+            self.policy.on_sample_period(end)
+
+        self.time = end
+        self.epoch_index += 1
+
+    def _account_steal(self, thief: Pcpu, vcpu: Vcpu, now: float) -> None:
+        source = vcpu.pcpu
+        cross = source is None or self.topology.node_of_pcpu(source) != thief.node
+        if cross:
+            self.steals_remote += 1
+        else:
+            self.steals_local += 1
+        vcpu.pcpu = thief.pcpu_id
+        vcpu.record_migration(cross)
+        self.migrations += 1
+        if cross:
+            self.cross_node_migrations += 1
+        self.log.emit(now, "steal", vcpu=vcpu.name, thief=thief.pcpu_id, cross=cross)
+
+    def _switch_in(self, pcpu: Pcpu, vcpu: Vcpu, now: float) -> None:
+        pcpu.current = vcpu
+        vcpu.pcpu = pcpu.pcpu_id
+        vcpu.begin_run(now)
+        vcpu.slice_used_s = 0.0
+        self.context_switches += 1
+        self.policy.on_context_switch(pcpu, None, vcpu)
+
+    # ------------------------------------------------------------------
+    # Contention + progress
+    # ------------------------------------------------------------------
+    def _advance_running(self, now: float, epoch: float) -> None:
+        running: List[Tuple[Pcpu, Vcpu]] = [
+            (p, p.current) for p in self.pcpus if p.current is not None
+        ]
+        # Per-node demand maps for the LLC solve.
+        node_demands: List[Dict[int, object]] = [
+            {} for _ in range(self.topology.num_nodes)
+        ]
+        run_node: Dict[int, int] = {}
+        page_mix: Dict[int, np.ndarray] = {}
+        for pcpu, vcpu in running:
+            demand = vcpu.workload.cache_demand()
+            node_demands[pcpu.node][vcpu.key] = demand
+            run_node[vcpu.key] = pcpu.node
+            page_mix[vcpu.key] = vcpu.domain.page_mix_for(vcpu.index)
+
+        miss_rates: Dict[int, float] = {}
+        for node_id, demands in enumerate(node_demands):
+            if demands:
+                occ = self.caches[node_id].solve(demands)
+                miss_rates.update(occ.miss_rates)
+
+        # Fixed point: rates -> traffic -> queueing -> rates.
+        lat = self.config.latency
+        penalty_ns: Dict[int, float] = {
+            v.key: lat.local_dram_ns for _, v in running
+        }
+        rates: Dict[int, float] = {}
+        mem_costs = None
+        for _ in range(self.config.contention_iterations):
+            traffic: Dict[int, float] = {}
+            for pcpu, vcpu in running:
+                prof = vcpu.workload.profile
+                clock = self.topology.nodes[pcpu.node].clock_hz
+                cpi = self._effective_cpi(
+                    vcpu, miss_rates[vcpu.key], penalty_ns[vcpu.key], clock
+                )
+                rate = clock / cpi
+                rates[vcpu.key] = rate
+                rpi = prof.refs_per_instruction * vcpu.workload.intensity_multiplier
+                traffic[vcpu.key] = rate * rpi * miss_rates[vcpu.key] * BYTES_PER_MISS
+            mem_costs = self.memsys.solve(traffic, run_node, page_mix)
+            penalty_ns = mem_costs.miss_penalty_ns
+
+        # Advance progress, counters, bursts.
+        for pcpu, vcpu in running:
+            compute = pcpu.consume_overhead(epoch)
+            pcpu.busy_time_s += epoch
+            self.busy_time_s += epoch
+            instructions = rates[vcpu.key] * compute
+            remaining = vcpu.workload.remaining_instructions
+            instructions = min(instructions, remaining)
+            w = vcpu.workload
+            rpi = w.profile.refs_per_instruction * w.intensity_multiplier
+            refs = instructions * rpi
+            misses = refs * miss_rates[vcpu.key]
+            self.pmu.charge(
+                vcpu.key,
+                instructions=instructions,
+                llc_refs=refs,
+                llc_misses=misses,
+                node_access_share=page_mix[vcpu.key],
+                run_node=pcpu.node,
+            )
+            w.advance(instructions)
+            vcpu.slice_used_s += epoch
+            vcpu.run_burst_remaining_s -= epoch
+
+            # First-touch locality feedback: freshly touched pages land
+            # on the node this VCPU is running on.
+            touch = w.profile.touch_rate
+            if touch > 0:
+                vcpu.domain.placement.drift_slice(
+                    w.slice_id, pcpu.node, min(1.0, touch * epoch)
+                )
+
+            if w.done:
+                vcpu.mark_done(now + epoch)
+                pcpu.current = None
+                self.context_switches += 1
+                self.policy.on_context_switch(pcpu, vcpu, None)
+                self.log.emit(now + epoch, "finish", vcpu=vcpu.name)
+            elif vcpu.run_burst_remaining_s <= 0:
+                vcpu.block_until(now + epoch + w.draw_block_time())
+                pcpu.current = None
+                self.context_switches += 1
+                self.policy.on_context_switch(pcpu, vcpu, None)
+
+        # LLC warmth: charge running sets, decay everyone else.
+        for node_id, demands in enumerate(node_demands):
+            self.caches[node_id].advance(epoch, demands)
+
+    def _effective_cpi(
+        self, vcpu: Vcpu, miss_rate: float, penalty_ns: float, clock_hz: float
+    ) -> float:
+        """CPI with memory stalls at the current contention point."""
+        w = vcpu.workload
+        prof = w.profile
+        rpi = prof.refs_per_instruction * w.intensity_multiplier
+        ns_to_cycles = clock_hz * 1e-9
+        lat = self.config.latency
+        per_ref_ns = (1.0 - miss_rate) * lat.llc_hit_ns + miss_rate * penalty_ns
+        stall = rpi * per_ref_ns * ns_to_cycles / prof.mlp
+        return prof.cpi_base + stall
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def total_overhead_s(self) -> float:
+        """All hypervisor overhead charged so far, every source."""
+        return sum(self.overhead_s.values())
+
+    def overhead_fraction(self) -> float:
+        """Overhead time over busy time (the Table III metric)."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.total_overhead_s / self.busy_time_s
+
+    def runnable_vcpus(self) -> List[Vcpu]:
+        """All VCPUs currently runnable or running."""
+        return [v for v in self.vcpus if v.runnable]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Machine(policy={self.policy.name!r}, t={self.time:.3f}s, "
+            f"domains={len(self.domains)})"
+        )

@@ -1,0 +1,185 @@
+"""Virtual CPU: scheduling state plus the fields vProbe adds.
+
+Mirrors Xen's ``struct vcpu`` / ``csched_vcpu`` at the granularity the
+paper cares about: Credit-scheduler bookkeeping (credits, priority) and
+the three fields §IV-B adds — ``node_affinity``, ``LLC_pressure`` and
+``vcpu_type`` — plus BRM's ``uncore_penalty`` for the baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.workloads.appmodel import VcpuWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.xen.domain import Domain
+
+__all__ = ["VcpuState", "VcpuType", "Vcpu"]
+
+
+class VcpuState(enum.Enum):
+    """Lifecycle states of a VCPU."""
+
+    RUNNABLE = "runnable"  #: waiting in some PCPU's run queue
+    RUNNING = "running"  #: currently on a PCPU
+    BLOCKED = "blocked"  #: waiting for I/O (or an idle guest VCPU)
+    DONE = "done"  #: finite workload completed
+
+
+class VcpuType(enum.Enum):
+    """The paper's LLC classes (Eq. 3)."""
+
+    LLC_FR = "llc-fr"  #: friendly — negligible LLC demand
+    LLC_FI = "llc-fi"  #: fitting — fits alone, hurt by contention
+    LLC_T = "llc-t"  #: thrashing — misses heavily even alone
+
+    @property
+    def memory_intensive(self) -> bool:
+        """LLC-T and LLC-FI VCPUs are the partitioner's targets."""
+        return self is not VcpuType.LLC_FR
+
+
+class Vcpu:
+    """One virtual CPU.
+
+    Parameters
+    ----------
+    key:
+        Globally unique integer id (index into the machine's VCPU table).
+    domain:
+        Owning domain.
+    index:
+        Index of this VCPU within its domain.
+    workload:
+        The application state this VCPU executes.
+    """
+
+    __slots__ = (
+        "key",
+        "domain",
+        "index",
+        "workload",
+        "state",
+        "pcpu",
+        "credits",
+        "boosted",
+        "run_start_time",
+        "last_ran_time",
+        "slice_used_s",
+        "run_burst_remaining_s",
+        "wake_time",
+        "node_affinity",
+        "llc_pressure",
+        "vcpu_type",
+        "assigned_node",
+        "uncore_penalty",
+        "migrations",
+        "cross_node_migrations",
+        "finish_time",
+    )
+
+    def __init__(
+        self,
+        key: int,
+        domain: "Domain",
+        index: int,
+        workload: VcpuWorkload,
+    ) -> None:
+        self.key = key
+        self.domain = domain
+        self.index = index
+        self.workload = workload
+
+        # -- Credit scheduler state ------------------------------------
+        self.state = VcpuState.BLOCKED if not workload.active else VcpuState.RUNNABLE
+        self.pcpu: Optional[int] = None  #: last/current PCPU id
+        self.credits: float = 0.0
+        #: Xen 4.0 Credit BOOST: set when waking from sleep, cleared at
+        #: the first accounting tick that debits this VCPU.
+        self.boosted: bool = False
+        self.run_start_time: float = 0.0  #: when the current run began
+        #: when this VCPU last occupied a PCPU (for the cache-hot test)
+        self.last_ran_time: float = -1.0
+        self.slice_used_s: float = 0.0  #: continuous run time this slice
+        self.run_burst_remaining_s: float = float("inf")
+        self.wake_time: float = float("inf")  #: when a blocked VCPU wakes
+
+        # -- vProbe fields (csched_vcpu additions, §IV-B) ---------------
+        self.node_affinity: Optional[int] = None
+        self.llc_pressure: float = 0.0
+        self.vcpu_type: VcpuType = VcpuType.LLC_FR
+        #: node the partitioner pinned this VCPU to this period (or None)
+        self.assigned_node: Optional[int] = None
+
+        # -- BRM baseline field -----------------------------------------
+        self.uncore_penalty: float = 0.0
+
+        # -- statistics ---------------------------------------------------
+        self.migrations: int = 0
+        self.cross_node_migrations: int = 0
+        self.finish_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def runnable(self) -> bool:
+        """True when the VCPU can occupy a PCPU."""
+        return self.state in (VcpuState.RUNNABLE, VcpuState.RUNNING)
+
+    @property
+    def priority_under(self) -> bool:
+        """Credit priority: UNDER (still has credit) vs OVER."""
+        return self.credits >= 0
+
+    @property
+    def priority_rank(self) -> int:
+        """Scheduling class: 0 = BOOST, 1 = UNDER, 2 = OVER.
+
+        Lower ranks run first; Credit's queues and preemption compare
+        ranks, never raw credits.
+        """
+        if self.boosted:
+            return 0
+        return 1 if self.credits >= 0 else 2
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``vm1.v3``."""
+        return f"{self.domain.name}.v{self.index}"
+
+    def begin_run(self, now: float) -> None:
+        """Transition to RUNNING (burst bookkeeping handled by the sim)."""
+        self.state = VcpuState.RUNNING
+        self.run_start_time = now
+
+    def stop_run(self, now: float | None = None) -> None:
+        """Transition RUNNING -> RUNNABLE (preemption/deschedule)."""
+        if self.state is VcpuState.RUNNING:
+            self.state = VcpuState.RUNNABLE
+            if now is not None:
+                self.last_ran_time = now
+
+    def block_until(self, wake_time: float) -> None:
+        """Block the VCPU until ``wake_time``."""
+        self.state = VcpuState.BLOCKED
+        self.wake_time = wake_time
+        self.slice_used_s = 0.0
+        self.boosted = False
+
+    def mark_done(self, now: float) -> None:
+        """Finite workload finished: leave the scheduling game."""
+        self.state = VcpuState.DONE
+        self.finish_time = now
+
+    def record_migration(self, cross_node: bool) -> None:
+        """Bump migration statistics."""
+        self.migrations += 1
+        if cross_node:
+            self.cross_node_migrations += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Vcpu({self.name}, key={self.key}, state={self.state.value}, "
+            f"pcpu={self.pcpu}, type={self.vcpu_type.value})"
+        )

@@ -1,0 +1,59 @@
+"""Shared fixtures for the vProbe reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.experiments.scenarios import ScenarioConfig
+from repro.hardware.topology import xeon_e5620
+from repro.workloads.generators import synthetic_profile
+from repro.xen.credit import CreditScheduler
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+
+# Keep property tests fast and deterministic in CI.
+settings.register_profile(
+    "ci",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ci")
+
+
+@pytest.fixture
+def topology():
+    """The paper's Table I host."""
+    return xeon_e5620()
+
+
+@pytest.fixture
+def quick_config():
+    """A short, deterministic scenario config for integration tests."""
+    return ScenarioConfig(work_scale=0.02, seed=7, max_time_s=30.0)
+
+
+@pytest.fixture
+def small_machine(topology):
+    """A machine with one two-VCPU memory-intensive domain, under Credit."""
+    machine = Machine(
+        topology,
+        CreditScheduler(),
+        SimConfig(max_time_s=5.0, seed=11),
+    )
+    domain = Domain.homogeneous(
+        "vm1",
+        memory_bytes=2 * 1024**3,
+        placement=place_split(2, topology.num_nodes),
+        profile=synthetic_profile("llc-fi", total_instructions=1e9),
+        num_vcpus=2,
+    )
+    machine.add_domain(domain)
+    return machine
+
+
+def run_small(machine: Machine, seconds: float = 1.0) -> None:
+    """Advance a machine a fixed amount of virtual time."""
+    machine.run(max_time_s=seconds)

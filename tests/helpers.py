@@ -1,0 +1,58 @@
+"""Test helpers: lightweight construction of domains and VCPUs."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.workloads.appmodel import ApplicationProfile, VcpuWorkload
+from repro.workloads.generators import synthetic_profile
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_single_node
+from repro.xen.vcpu import Vcpu, VcpuState
+
+__all__ = ["make_domain", "make_vcpu", "make_vcpus"]
+
+
+def make_domain(
+    num_vcpus: int = 1,
+    profile: Optional[ApplicationProfile] = None,
+    name: str = "dom",
+    num_nodes: int = 2,
+) -> Domain:
+    """A small single-node domain with synthetic workloads."""
+    prof = profile or synthetic_profile("llc-fi", total_instructions=1e9)
+    workloads = [
+        VcpuWorkload(prof, np.random.default_rng(i), slice_id=i, num_slices=num_vcpus)
+        for i in range(num_vcpus)
+    ]
+    return Domain(
+        name,
+        1024**3,
+        place_single_node(num_vcpus, num_nodes, node=0),
+        workloads,
+        first_touch_init=False,
+    )
+
+
+def make_vcpu(
+    key: int = 0,
+    credits: float = 0.0,
+    boosted: bool = False,
+    llc_pressure: float = 0.0,
+    domain: Optional[Domain] = None,
+) -> Vcpu:
+    """A runnable VCPU with chosen scheduling attributes."""
+    dom = domain or make_domain()
+    vcpu = Vcpu(key, dom, 0, dom.workloads[0])
+    vcpu.state = VcpuState.RUNNABLE
+    vcpu.credits = credits
+    vcpu.boosted = boosted
+    vcpu.llc_pressure = llc_pressure
+    return vcpu
+
+
+def make_vcpus(specs: List[dict]) -> List[Vcpu]:
+    """Several VCPUs from keyword-spec dicts (each gets its own domain)."""
+    return [make_vcpu(key=i, **spec) for i, spec in enumerate(specs)]

@@ -1,0 +1,125 @@
+"""Tests for repro.core.analyzer: the PMU data analyzer (§III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import PmuAnalyzer
+from repro.core.classify import Bounds
+from repro.hardware.topology import xeon_e5620
+from repro.workloads.generators import synthetic_profile
+from repro.xen.credit import CreditScheduler
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+from repro.xen.vcpu import VcpuType
+
+GIB = 1024**3
+
+
+def machine_with_vcpu(profile):
+    machine = Machine(xeon_e5620(), CreditScheduler(), SimConfig(seed=0))
+    machine.add_domain(
+        Domain.homogeneous("vm", 1 * GIB, place_split(1, 2), profile, 1)
+    )
+    return machine
+
+
+def charge(machine, key, instr, refs, share, node=0):
+    machine.pmu.charge(
+        key,
+        instructions=instr,
+        llc_refs=refs,
+        llc_misses=refs * 0.5,
+        node_access_share=np.array(share),
+        run_node=node,
+    )
+
+
+class TestEquation1Affinity:
+    def test_affinity_is_argmax_of_node_accesses(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        charge(machine, 0, 1e6, 25e3, [0.2, 0.8])
+        PmuAnalyzer().analyze(machine)
+        assert machine.vcpus[0].node_affinity == 1
+
+    def test_affinity_kept_when_no_accesses(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        machine.vcpus[0].node_affinity = 1
+        # Window with instructions but zero misses: affinity unchanged.
+        machine.pmu.charge(
+            0,
+            instructions=1e6,
+            llc_refs=0.0,
+            llc_misses=0.0,
+            node_access_share=np.array([0.5, 0.5]),
+            run_node=0,
+        )
+        PmuAnalyzer().analyze(machine)
+        assert machine.vcpus[0].node_affinity == 1
+
+
+class TestEquation2Pressure:
+    def test_pressure_from_window(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        charge(machine, 0, 1e6, 25e3, [1.0, 0.0])
+        samples = PmuAnalyzer().analyze(machine)
+        assert machine.vcpus[0].llc_pressure == pytest.approx(25.0)
+        assert samples[0].llc_pressure == pytest.approx(25.0)
+
+    def test_windows_reset_between_periods(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer()
+        charge(machine, 0, 1e6, 25e3, [1.0, 0.0])
+        analyzer.analyze(machine)
+        # Second period: lighter behaviour must be reflected, not averaged.
+        charge(machine, 0, 1e6, 1e3, [1.0, 0.0])
+        analyzer.analyze(machine)
+        assert machine.vcpus[0].llc_pressure == pytest.approx(1.0)
+
+    def test_idle_vcpu_keeps_previous_classification(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer()
+        charge(machine, 0, 1e6, 25e3, [1.0, 0.0])
+        analyzer.analyze(machine)
+        assert machine.vcpus[0].vcpu_type is VcpuType.LLC_T
+        # Empty window (VCPU never ran): type/pressure unchanged.
+        analyzer.analyze(machine)
+        assert machine.vcpus[0].vcpu_type is VcpuType.LLC_T
+        assert machine.vcpus[0].llc_pressure == pytest.approx(25.0)
+
+
+class TestEquation3Classification:
+    def test_types_follow_bounds(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(Bounds(low=3.0, high=20.0))
+        charge(machine, 0, 1e6, 10e3, [1.0, 0.0])
+        analyzer.analyze(machine)
+        assert machine.vcpus[0].vcpu_type is VcpuType.LLC_FI
+
+    def test_custom_bounds_respected(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(Bounds(low=1.0, high=5.0))
+        charge(machine, 0, 1e6, 10e3, [1.0, 0.0])
+        analyzer.analyze(machine)
+        assert machine.vcpus[0].vcpu_type is VcpuType.LLC_T
+
+
+class TestEndToEnd:
+    def test_live_run_classifies_thrashing_app(self):
+        machine = machine_with_vcpu(
+            synthetic_profile("llc-t", total_instructions=None, with_phases=False)
+        )
+        machine.run(max_time_s=0.3)
+        samples = PmuAnalyzer().analyze(machine)
+        (sample,) = [s for s in samples if s.instructions > 0]
+        assert sample.vcpu_type is VcpuType.LLC_T
+        # Synthetic llc-t preset has RPTI 25.
+        assert sample.llc_pressure == pytest.approx(25.0, rel=0.1)
+
+    def test_done_vcpus_skipped(self):
+        machine = machine_with_vcpu(
+            synthetic_profile("llc-fr", total_instructions=1e6, with_phases=False)
+        )
+        machine.run()
+        samples = PmuAnalyzer().analyze(machine)
+        assert samples == []

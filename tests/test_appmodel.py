@@ -1,0 +1,157 @@
+"""Tests for repro.workloads.appmodel."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.appmodel import (
+    ApplicationProfile,
+    BlockingSpec,
+    PhaseSpec,
+    VcpuWorkload,
+)
+
+MIB = 1024**2
+
+
+def profile(**overrides):
+    base = dict(
+        name="app",
+        cpi_base=1.0,
+        rpti=10.0,
+        working_set_bytes=8 * MIB,
+        min_miss_rate=0.05,
+        max_miss_rate=0.8,
+        total_instructions=1e9,
+    )
+    base.update(overrides)
+    return ApplicationProfile(**base)
+
+
+class TestBlockingSpec:
+    def test_duty_cycle(self):
+        spec = BlockingSpec(run_burst_s=0.03, block_s=0.01)
+        assert spec.duty_cycle == pytest.approx(0.75)
+
+    def test_zero_block_allowed(self):
+        assert BlockingSpec(run_burst_s=0.01, block_s=0.0).duty_cycle == 1.0
+
+    def test_zero_run_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingSpec(run_burst_s=0.0, block_s=0.01)
+
+
+class TestApplicationProfile:
+    def test_refs_per_instruction(self):
+        assert profile(rpti=15.0).refs_per_instruction == pytest.approx(0.015)
+
+    def test_cache_demand_reflects_multipliers(self):
+        p = profile()
+        d = p.cache_demand(ws_multiplier=2.0, intensity_multiplier=0.5)
+        assert d.working_set_bytes == pytest.approx(16 * MIB)
+        assert d.intensity == pytest.approx(0.01 * 0.5)
+
+    def test_with_overrides(self):
+        p = profile().with_overrides(rpti=99.0)
+        assert p.rpti == 99.0
+        assert p.name == "app"
+
+    def test_is_finite(self):
+        assert profile().is_finite
+        assert not profile(total_instructions=None).is_finite
+
+    def test_invalid_miss_rates_rejected(self):
+        with pytest.raises(ValueError):
+            profile(min_miss_rate=0.9, max_miss_rate=0.1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            profile(name="")
+
+    def test_negative_touch_rate_rejected(self):
+        with pytest.raises(ValueError):
+            profile(touch_rate=-0.1)
+
+
+class TestVcpuWorkloadProgress:
+    def test_advance_and_done(self):
+        w = VcpuWorkload(profile(total_instructions=100.0), np.random.default_rng(0))
+        w.advance(60.0)
+        assert not w.done
+        assert w.remaining_instructions == pytest.approx(40.0)
+        w.advance(40.0)
+        assert w.done
+
+    def test_unbounded_never_done(self):
+        w = VcpuWorkload(profile(total_instructions=None), np.random.default_rng(0))
+        w.advance(1e15)
+        assert not w.done
+        assert w.remaining_instructions == float("inf")
+
+    def test_negative_advance_rejected(self):
+        w = VcpuWorkload(profile(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            w.advance(-1.0)
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            VcpuWorkload(profile(), np.random.default_rng(0), slice_id=3, num_slices=2)
+
+
+class TestPhases:
+    def test_no_phase_spec_means_no_changes(self):
+        w = VcpuWorkload(profile(phase=None), np.random.default_rng(0))
+        assert not w.maybe_phase_change(1e9)
+        assert w.ws_multiplier == 1.0
+
+    def test_phase_change_applies_jitter(self):
+        spec = PhaseSpec(mean_duration_s=0.1, ws_jitter=0.5, intensity_jitter=0.5, rotate_prob=0.0)
+        w = VcpuWorkload(profile(phase=spec), np.random.default_rng(1))
+        changed = False
+        t = 0.0
+        for _ in range(200):
+            t += 0.1
+            changed |= w.maybe_phase_change(t)
+        assert changed
+        assert 0.5 <= w.ws_multiplier <= 1.5
+
+    def test_rotation_changes_slice(self):
+        spec = PhaseSpec(mean_duration_s=0.05, rotate_prob=1.0)
+        w = VcpuWorkload(profile(phase=spec), np.random.default_rng(2), slice_id=0, num_slices=4)
+        t = 0.0
+        seen = {w.slice_id}
+        for _ in range(100):
+            t += 0.1
+            w.maybe_phase_change(t)
+            seen.add(w.slice_id)
+        assert len(seen) > 1
+        assert all(0 <= s < 4 for s in seen)
+
+    def test_not_due_before_first_deadline(self):
+        spec = PhaseSpec(mean_duration_s=100.0)
+        w = VcpuWorkload(profile(phase=spec), np.random.default_rng(3))
+        assert not w.maybe_phase_change(0.001)
+
+
+class TestBlockingDraws:
+    def test_cpu_bound_never_blocks(self):
+        w = VcpuWorkload(profile(blocking=None), np.random.default_rng(0))
+        assert w.draw_run_burst() == float("inf")
+        assert w.draw_block_time() == 0.0
+
+    def test_blocking_draws_positive(self):
+        spec = BlockingSpec(run_burst_s=0.05, block_s=0.01)
+        w = VcpuWorkload(profile(blocking=spec), np.random.default_rng(0))
+        bursts = [w.draw_run_burst() for _ in range(50)]
+        blocks = [w.draw_block_time() for _ in range(50)]
+        assert all(b > 0 for b in bursts)
+        assert all(b >= 0 for b in blocks)
+        assert np.mean(bursts) == pytest.approx(0.05, rel=0.5)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_draws_deterministic_per_seed(self, seed):
+        spec = BlockingSpec(run_burst_s=0.05, block_s=0.01)
+        a = VcpuWorkload(profile(blocking=spec), np.random.default_rng(seed))
+        b = VcpuWorkload(profile(blocking=spec), np.random.default_rng(seed))
+        assert a.draw_run_burst() == b.draw_run_burst()

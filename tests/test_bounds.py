@@ -1,0 +1,82 @@
+"""Tests for repro.core.bounds: the dynamic-bounds extension."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import DynamicBounds
+from repro.core.classify import Bounds
+
+
+class TestUpdate:
+    def test_tracks_quantiles(self):
+        dyn = DynamicBounds(smoothing=1.0)  # jump straight to the estimate
+        pressures = [1.0, 2.0, 10.0, 15.0, 30.0, 40.0, 50.0, 60.0]
+        bounds = dyn.update(pressures)
+        assert bounds.low < bounds.high
+        assert bounds.low > 0.5
+        assert dyn.updates == 1
+
+    def test_smoothing_limits_movement(self):
+        slow = DynamicBounds(smoothing=0.1)
+        fast = DynamicBounds(smoothing=0.9)
+        pressures = [50.0] * 8
+        slow_bounds = slow.update(pressures)
+        fast_bounds = fast.update(pressures)
+        assert fast_bounds.high > slow_bounds.high
+
+    def test_too_few_samples_skipped(self):
+        dyn = DynamicBounds(min_samples=4)
+        before = dyn.bounds
+        assert dyn.update([10.0, 20.0]) == before
+        assert dyn.updates == 0
+
+    def test_min_separation_maintained(self):
+        dyn = DynamicBounds(smoothing=1.0, min_separation=2.0)
+        bounds = dyn.update([10.0] * 8)  # degenerate distribution
+        assert bounds.high - bounds.low >= 2.0 - 1e-9
+
+    def test_floor_and_ceiling_respected(self):
+        dyn = DynamicBounds(smoothing=1.0, floor=1.0, ceiling=50.0)
+        low_bounds = dyn.update([0.0] * 8)
+        assert low_bounds.low >= 1.0
+        high_bounds = DynamicBounds(smoothing=1.0, floor=1.0, ceiling=50.0).update(
+            [1000.0] * 8
+        )
+        assert high_bounds.high <= 50.0
+
+    def test_negative_pressures_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicBounds().update([-1.0] * 8)
+
+    def test_returns_valid_bounds_object(self):
+        bounds = DynamicBounds(smoothing=0.5).update([1.0, 5.0, 15.0, 25.0])
+        assert isinstance(bounds, Bounds)
+
+
+class TestConstruction:
+    def test_quantiles_ordered(self):
+        with pytest.raises(ValueError):
+            DynamicBounds(low_q=0.8, high_q=0.2)
+
+    def test_floor_below_ceiling(self):
+        with pytest.raises(ValueError):
+            DynamicBounds(floor=10.0, ceiling=5.0)
+
+    def test_min_samples_positive(self):
+        with pytest.raises(ValueError):
+            DynamicBounds(min_samples=0)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100), min_size=4, max_size=32),
+    st.integers(min_value=1, max_value=20),
+)
+def test_property_bounds_always_valid(pressures, rounds):
+    """However the distribution moves, the bounds stay valid and bounded."""
+    dyn = DynamicBounds(smoothing=0.5)
+    for _ in range(rounds):
+        bounds = dyn.update(pressures)
+        assert bounds.low < bounds.high
+        assert dyn.floor <= bounds.low
+        assert bounds.high <= dyn.ceiling

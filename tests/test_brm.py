@@ -1,0 +1,96 @@
+"""Tests for repro.baselines.brm: uncore penalty + bias random migration."""
+
+import pytest
+
+from repro.baselines.brm import BRMParams, BRMScheduler
+from repro.baselines.lock import GlobalLockModel
+from repro.hardware.topology import xeon_e5620
+from repro.workloads.generators import synthetic_profile
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+
+GIB = 1024**3
+
+
+def build(num_vcpus=8, seed=0, brm_params=None, lock=None):
+    policy = BRMScheduler(brm_params=brm_params, lock=lock)
+    machine = Machine(xeon_e5620(), policy, SimConfig(seed=seed, max_time_s=10.0))
+    profile = synthetic_profile("llc-t", total_instructions=None)
+    machine.add_domain(
+        Domain.homogeneous("vm", 1 * GIB, place_split(num_vcpus, 2), profile, num_vcpus)
+    )
+    return machine, policy
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        params = BRMParams()
+        assert 0 <= params.bias <= 1
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            BRMParams(migrate_period_ticks=0)
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ValueError):
+            BRMParams(bias=1.5)
+
+
+class TestPenaltyMaintenance:
+    def test_penalties_updated_for_running_vcpus(self):
+        machine, _ = build()
+        machine.run(max_time_s=0.3)
+        assert any(v.uncore_penalty > 0 for v in machine.vcpus)
+
+    def test_penalty_bounded_zero_one(self):
+        machine, _ = build()
+        machine.run(max_time_s=0.5)
+        for vcpu in machine.vcpus:
+            assert 0.0 <= vcpu.uncore_penalty <= 1.0
+
+    def test_lock_cost_charged_per_update(self):
+        machine, policy = build()
+        machine.run(max_time_s=0.3)
+        assert policy.lock.acquisitions > 0
+        assert machine.overhead_s.get("brm_lock", 0.0) > 0
+
+    def test_lock_contention_grows_with_vcpus(self):
+        few, policy_few = build(num_vcpus=4, seed=1)
+        many, policy_many = build(num_vcpus=24, seed=1)
+        few.run(max_time_s=0.3)
+        many.run(max_time_s=0.3)
+        assert policy_many.lock.mean_wait_s() > policy_few.lock.mean_wait_s()
+
+    def test_overhead_significant_beyond_threshold(self):
+        """The paper's claim: >8 VCPUs makes the lock overhead heavy."""
+        machine, _ = build(num_vcpus=24)
+        machine.run(max_time_s=0.5)
+        assert machine.overhead_fraction() > 0.01  # >1% of busy time
+
+
+class TestMigrationRounds:
+    def test_brm_migrates_frequently(self):
+        machine, _ = build()
+        machine.run(max_time_s=1.0)
+        assert machine.migrations > 10
+
+    def test_migration_rounds_honour_period(self):
+        rare_params = BRMParams(migrate_period_ticks=100)
+        frequent_params = BRMParams(migrate_period_ticks=3)
+        rare, _ = build(brm_params=rare_params, seed=2)
+        frequent, _ = build(brm_params=frequent_params, seed=2)
+        rare.run(max_time_s=1.0)
+        frequent.run(max_time_s=1.0)
+        assert frequent.migrations > rare.migrations
+
+    def test_bias_zero_is_fully_random(self):
+        machine, policy = build(brm_params=BRMParams(bias=0.0), seed=3)
+        machine.run(max_time_s=0.5)
+        # Still migrates, just without the greedy component.
+        assert machine.migrations > 0
+
+    def test_collects_pmu(self):
+        _, policy = build()
+        assert policy.collects_pmu
+        assert policy.name == "brm"

@@ -1,0 +1,93 @@
+"""Tests for repro.core.classify: Eq. 2 and Eq. 3."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classify import Bounds, classify, llc_access_pressure
+from repro.xen.vcpu import VcpuType
+
+
+class TestLlcAccessPressure:
+    def test_equation_2(self):
+        # R = refs / instructions * alpha
+        assert llc_access_pressure(50.0, 1000.0) == pytest.approx(50.0)
+
+    def test_alpha_scales(self):
+        assert llc_access_pressure(50.0, 1000.0, alpha=100.0) == pytest.approx(5.0)
+
+    def test_no_instructions_gives_zero(self):
+        assert llc_access_pressure(10.0, 0.0) == 0.0
+
+    def test_paper_anchor_values(self):
+        """RPTI-style counts reproduce the paper's Fig. 3 pressures."""
+        # libquantum: 22.41 refs per kilo-instruction.
+        assert llc_access_pressure(22.41e6, 1e9) == pytest.approx(22.41)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            llc_access_pressure(-1.0, 100.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e12),
+        st.floats(min_value=1, max_value=1e12),
+    )
+    def test_non_negative(self, refs, instr):
+        assert llc_access_pressure(refs, instr) >= 0
+
+
+class TestBounds:
+    def test_paper_defaults(self):
+        bounds = Bounds()
+        assert bounds.low == 3.0
+        assert bounds.high == 20.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Bounds(low=20.0, high=3.0)
+
+    def test_equal_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Bounds(low=5.0, high=5.0)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "pressure,expected",
+        [
+            (0.0, VcpuType.LLC_FR),
+            (2.99, VcpuType.LLC_FR),
+            (3.0, VcpuType.LLC_FI),  # low bound inclusive into FI
+            (19.99, VcpuType.LLC_FI),
+            (20.0, VcpuType.LLC_T),  # high bound inclusive into T
+            (50.0, VcpuType.LLC_T),
+        ],
+    )
+    def test_equation_3_boundaries(self, pressure, expected):
+        assert classify(pressure) is expected
+
+    def test_paper_applications(self):
+        """The six §IV-A applications land in their published classes."""
+        assert classify(0.48) is VcpuType.LLC_FR  # povray
+        assert classify(2.01) is VcpuType.LLC_FR  # ep
+        assert classify(15.38) is VcpuType.LLC_FI  # lu
+        assert classify(16.33) is VcpuType.LLC_FI  # mg
+        assert classify(21.68) is VcpuType.LLC_T  # milc
+        assert classify(22.41) is VcpuType.LLC_T  # libquantum
+
+    def test_custom_bounds_shift_classes(self):
+        tight = Bounds(low=1.0, high=2.0)
+        assert classify(1.5, tight) is VcpuType.LLC_FI
+        assert classify(2.5, tight) is VcpuType.LLC_T
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_total_and_ordered(self, pressure):
+        """Every pressure maps to exactly one class, monotonically."""
+        vtype = classify(pressure)
+        bounds = Bounds()
+        if vtype is VcpuType.LLC_FR:
+            assert pressure < bounds.low
+        elif vtype is VcpuType.LLC_FI:
+            assert bounds.low <= pressure < bounds.high
+        else:
+            assert pressure >= bounds.high

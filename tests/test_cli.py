@@ -1,0 +1,65 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "soplex"])
+        assert args.app == "soplex"
+        assert args.schedulers == ["credit", "vprobe"]
+        assert args.work_scale == pytest.approx(0.15)
+
+    def test_compare_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "soplex", "--schedulers", "cfs"]
+            )
+
+    def test_solo_parses(self):
+        args = build_parser().parse_args(["solo", "milc"])
+        assert args.command == "solo"
+
+    def test_report_parses(self):
+        args = build_parser().parse_args(["report", "out", "--fast"])
+        assert args.outdir == "out" and args.fast
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_solo_prints_calibration(self, capsys):
+        assert main(["solo", "povray", "--work-scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "povray" in out
+        assert "llc-fr" in out
+
+    def test_compare_prints_table(self, capsys):
+        code = main(
+            [
+                "compare",
+                "lu",
+                "--schedulers",
+                "credit",
+                "vprobe",
+                "--work-scale",
+                "0.03",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vprobe" in out and "runtime" in out
+        assert "improvement over credit" in out
+
+    def test_report_fast_writes_files(self, tmp_path, capsys):
+        # Restrict to the two cheapest jobs; the full set runs in the
+        # benchmark harness.
+        from repro.experiments.report_all import regenerate_all
+
+        regenerate_all(tmp_path / "r", fast=True, only=("fig3", "table3"))
+        written = {p.name for p in (tmp_path / "r").glob("*.txt")}
+        assert written == {"fig3_llc_missrate_rpti.txt", "table3_overhead.txt"}

@@ -1,0 +1,82 @@
+"""Tests for repro.metrics.collectors."""
+
+import pytest
+
+from repro.hardware.topology import xeon_e5620
+from repro.metrics.collectors import summarize
+from repro.workloads.generators import synthetic_profile
+from repro.xen.credit import CreditScheduler
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+
+GIB = 1024**3
+
+
+@pytest.fixture
+def finished_machine():
+    machine = Machine(xeon_e5620(), CreditScheduler(), SimConfig(seed=0, max_time_s=20.0))
+    profile = synthetic_profile("llc-fi", total_instructions=3e8, with_phases=False)
+    machine.add_domain(
+        Domain.homogeneous("vm1", 1 * GIB, place_split(2, 2), profile, 2)
+    )
+    machine.add_domain(
+        Domain.homogeneous("vm2", 1 * GIB, place_split(2, 2), profile, 2)
+    )
+    machine.run()
+    return machine
+
+
+class TestDomainStats:
+    def test_instruction_totals_match_workloads(self, finished_machine):
+        summary = summarize(finished_machine)
+        for name in ("vm1", "vm2"):
+            assert summary.domain(name).instructions == pytest.approx(2 * 3e8)
+
+    def test_total_accesses_is_local_plus_remote(self, finished_machine):
+        stats = summarize(finished_machine).domain("vm1")
+        assert stats.total_accesses == pytest.approx(
+            stats.local_accesses + stats.remote_accesses
+        )
+
+    def test_remote_ratio_in_unit_interval(self, finished_machine):
+        stats = summarize(finished_machine).domain("vm1")
+        assert 0.0 <= stats.remote_ratio <= 1.0
+
+    def test_rpti_matches_profile(self, finished_machine):
+        stats = summarize(finished_machine).domain("vm1")
+        # synthetic llc-fi preset: RPTI 12.
+        assert stats.rpti == pytest.approx(12.0, rel=0.05)
+
+    def test_miss_rate_bounded(self, finished_machine):
+        stats = summarize(finished_machine).domain("vm1")
+        assert 0.0 < stats.llc_miss_rate < 1.0
+
+    def test_mean_finish_time_present(self, finished_machine):
+        stats = summarize(finished_machine).domain("vm1")
+        assert stats.mean_finish_time_s is not None
+        assert stats.mean_finish_time_s > 0
+
+    def test_throughput_ops(self, finished_machine):
+        stats = summarize(finished_machine).domain("vm1")
+        ops_per_s = stats.throughput_ops(instr_per_op=1e4)
+        expected = (stats.instructions / 1e4) / stats.mean_finish_time_s
+        assert ops_per_s == pytest.approx(expected)
+
+
+class TestMachineStats:
+    def test_busy_time_positive_and_bounded(self, finished_machine):
+        stats = summarize(finished_machine).machine_stats
+        max_busy = finished_machine.time * len(finished_machine.pcpus)
+        assert 0 < stats.busy_time_s <= max_busy + 1e-9
+
+    def test_overhead_fraction_zero_for_plain_credit(self, finished_machine):
+        stats = summarize(finished_machine).machine_stats
+        assert stats.overhead_fraction == 0.0
+
+    def test_policy_name_recorded(self, finished_machine):
+        assert summarize(finished_machine).policy == "credit"
+
+    def test_unknown_domain_raises(self, finished_machine):
+        with pytest.raises(KeyError):
+            summarize(finished_machine).domain("vm9")

@@ -1,0 +1,75 @@
+"""Tests for repro.experiments.comparison grid containers."""
+
+import pytest
+
+from repro.experiments.comparison import ComparisonCell, ComparisonResult
+
+
+def cell(workload, scheduler, time, total=100.0, remote=40.0):
+    return ComparisonCell(
+        workload=workload,
+        scheduler=scheduler,
+        exec_time_s=time,
+        total_accesses=total,
+        remote_accesses=remote,
+        instructions=1e9,
+        migrations=10,
+        cross_node_migrations=4,
+        overhead_fraction=1e-4,
+    )
+
+
+@pytest.fixture
+def grid():
+    cells = {
+        ("a", "credit"): cell("a", "credit", 10.0, total=200.0, remote=100.0),
+        ("a", "vprobe"): cell("a", "vprobe", 7.0, total=190.0, remote=30.0),
+        ("b", "credit"): cell("b", "credit", 5.0, total=100.0, remote=50.0),
+        ("b", "vprobe"): cell("b", "vprobe", 4.5, total=105.0, remote=20.0),
+    }
+    return ComparisonResult(
+        name="test grid",
+        workloads=("a", "b"),
+        schedulers=("credit", "vprobe"),
+        cells=cells,
+    )
+
+
+class TestNormalisation:
+    def test_baseline_is_one(self, grid):
+        assert grid.norm_exec_time("a", "credit") == pytest.approx(1.0)
+        assert grid.norm_total_accesses("b", "credit") == pytest.approx(1.0)
+
+    def test_norm_exec_time(self, grid):
+        assert grid.norm_exec_time("a", "vprobe") == pytest.approx(0.7)
+
+    def test_norm_remote(self, grid):
+        assert grid.norm_remote_accesses("a", "vprobe") == pytest.approx(0.3)
+
+    def test_improvement(self, grid):
+        assert grid.improvement_over("a", "vprobe", "credit") == pytest.approx(30.0)
+
+    def test_best_improvement(self, grid):
+        workload, pct = grid.best_improvement("vprobe")
+        assert workload == "a"
+        assert pct == pytest.approx(30.0)
+
+    def test_unknown_cell_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.cell("a", "brm")
+
+
+class TestRendering:
+    def test_panel_table_contains_all_workloads(self, grid):
+        text = grid.panel_table("time")
+        assert "a" in text and "b" in text and "vprobe" in text
+
+    def test_format_has_three_panels(self, grid):
+        text = grid.format()
+        assert text.count("test grid") == 3
+        assert "normalized execution time" in text
+        assert "normalized remote memory accesses" in text
+
+    def test_unknown_metric_rejected(self, grid):
+        with pytest.raises(KeyError):
+            grid.panel_table("latency")

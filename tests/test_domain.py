@@ -1,0 +1,121 @@
+"""Tests for repro.xen.domain."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStreams
+from repro.workloads.generators import synthetic_profile
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_single_node, place_split
+
+GIB = 1024**3
+
+
+class TestConstruction:
+    def test_placement_slices_must_match_vcpus(self):
+        profile = synthetic_profile("llc-fi")
+        with pytest.raises(ValueError, match="slices"):
+            Domain.homogeneous(
+                "vm", 1 * GIB, place_split(3, 2), profile, num_vcpus=4
+            )
+
+    def test_pinned_pcpus_length_checked(self):
+        profile = synthetic_profile("llc-fi")
+        workloads = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(2, 2), profile, num_vcpus=2
+        ).workloads
+        with pytest.raises(ValueError):
+            Domain("vm", 1 * GIB, place_split(2, 2), workloads, pinned_pcpus=[0])
+
+    def test_empty_name_rejected(self):
+        profile = synthetic_profile("llc-fi")
+        with pytest.raises(ValueError):
+            Domain.homogeneous("", 1 * GIB, place_split(1, 2), profile, 1)
+
+    def test_homogeneous_active_subset(self):
+        domain = Domain.homogeneous(
+            "vm",
+            1 * GIB,
+            place_split(8, 2),
+            synthetic_profile("llc-fi"),
+            num_vcpus=8,
+            active_vcpus=4,
+            rng=RngStreams(0),
+        )
+        assert sum(w.active for w in domain.workloads) == 4
+        assert [w.active for w in domain.workloads] == [True] * 4 + [False] * 4
+
+    def test_active_vcpus_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Domain.homogeneous(
+                "vm", 1 * GIB, place_split(2, 2),
+                synthetic_profile("llc-fi"), num_vcpus=2, active_vcpus=3,
+            )
+
+    def test_slice_bytes(self):
+        domain = Domain.homogeneous(
+            "vm", 8 * GIB, place_split(4, 2), synthetic_profile("llc-fi"), 4
+        )
+        assert domain.slice_bytes == pytest.approx(2 * GIB)
+
+
+class TestPageMix:
+    def test_page_mix_follows_current_slice(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(4, 2), synthetic_profile("llc-fi"), 4,
+            rng=RngStreams(1),
+        )
+        # Slice 0 lives on node 0; concentration pulls the mix there.
+        mix = domain.page_mix_for(0)
+        assert mix[0] > mix[1]
+
+    def test_affinity_node_ground_truth(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_single_node(2, 2, node=1),
+            synthetic_profile("llc-fi"), 2,
+        )
+        assert domain.affinity_node(0) == 1
+        assert domain.affinity_node(1) == 1
+
+    def test_rotated_slice_changes_mix(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(2, 2), synthetic_profile("llc-fi"), 2,
+        )
+        before = domain.affinity_node(0)
+        domain.workloads[0].slice_id = 1
+        after = domain.affinity_node(0)
+        assert before != after
+
+
+class TestCompletion:
+    def test_finite_workloads_done(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(2, 2),
+            synthetic_profile("llc-fi", total_instructions=100.0), 2,
+        )
+        assert not domain.finite_workloads_done
+        for w in domain.workloads:
+            w.advance(100.0)
+        assert domain.finite_workloads_done
+
+    def test_inactive_vcpus_ignored_for_completion(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(2, 2),
+            synthetic_profile("llc-fi", total_instructions=100.0), 2,
+            active_vcpus=1,
+        )
+        domain.workloads[0].advance(100.0)
+        assert domain.finite_workloads_done
+
+    def test_unbounded_workloads_never_block_completion(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(1, 2),
+            synthetic_profile("llc-fr", total_instructions=None), 1,
+        )
+        assert domain.finite_workloads_done  # vacuously: nothing finite
+
+    def test_mean_finish_time_none_without_finishers(self):
+        domain = Domain.homogeneous(
+            "vm", 1 * GIB, place_split(1, 2), synthetic_profile("llc-fi"), 1
+        )
+        assert domain.mean_finish_time() is None

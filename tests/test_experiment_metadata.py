@@ -1,0 +1,73 @@
+"""Static consistency checks of the experiment modules' metadata.
+
+These guard the mapping between the paper's evaluation and the
+harness: the workload axes match the paper's, the published anchor
+values stay encoded, and the report-all job table covers every
+experiment DESIGN.md promises.
+"""
+
+from repro.experiments import fig1, fig3, fig4, fig5, fig6, fig7, fig8, table3
+from repro.experiments.report_all import _jobs
+from repro.workloads.suites import ALL_PROFILES
+
+
+class TestAxes:
+    def test_fig1_apps_exist_and_match_paper(self):
+        assert set(fig1.FIG1_APPS) <= set(ALL_PROFILES)
+        assert len(fig1.FIG1_APPS) == 9  # the paper's nine bars
+
+    def test_fig3_apps_are_the_calibration_six(self):
+        assert fig3.FIG3_APPS == ("povray", "ep", "lu", "mg", "milc", "libquantum")
+
+    def test_fig4_axis_matches_paper(self):
+        assert fig4.FIG4_WORKLOADS == ("soplex", "libquantum", "mcf", "milc", "mix")
+
+    def test_fig5_axis_matches_paper(self):
+        assert fig5.FIG5_WORKLOADS == ("bt", "cg", "lu", "mg", "sp")
+
+    def test_fig6_axis_is_16_to_112(self):
+        assert fig6.FIG6_CONCURRENCY[0] == 16
+        assert fig6.FIG6_CONCURRENCY[-1] == 112
+        assert len(fig6.FIG6_CONCURRENCY) == 7
+
+    def test_fig7_axis_is_2000_to_10000(self):
+        assert fig7.FIG7_CONNECTIONS == (2000, 4000, 6000, 8000, 10000)
+
+    def test_fig8_axis_spans_01_to_10s(self):
+        assert fig8.FIG8_PERIODS[0] == 0.1
+        assert fig8.FIG8_PERIODS[-1] == 10.0
+        assert 1.0 in fig8.FIG8_PERIODS
+
+    def test_table3_vm_counts(self):
+        assert table3.TABLE3_VM_COUNTS == (1, 2, 3, 4)
+
+
+class TestPublishedAnchors:
+    def test_fig3_paper_rpti_values(self):
+        assert fig3.PAPER_RPTI["povray"] == 0.48
+        assert fig3.PAPER_RPTI["libquantum"] == 22.41
+
+    def test_table3_paper_percentages(self):
+        assert table3.PAPER_OVERHEAD_PCT[1] == 0.00847
+        assert table3.PAPER_OVERHEAD_PCT[4] == 0.01062
+
+
+class TestReportAllCoverage:
+    def test_every_figure_and_table_has_a_job(self):
+        names = {name for name, _ in _jobs(fast=True)}
+        for prefix in (
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table3",
+            "ablation",
+        ):
+            assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_job_names_unique(self):
+        names = [name for name, _ in _jobs(fast=False)]
+        assert len(names) == len(set(names))

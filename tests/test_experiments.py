@@ -1,0 +1,131 @@
+"""Smoke tests for the experiment modules (tiny scales).
+
+Full-scale regeneration lives in benchmarks/; these tests check the
+plumbing: every module runs end to end, produces well-formed results
+and renders its table.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ScenarioConfig,
+    ablation,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    quick_comparison,
+    table3,
+)
+
+TINY = ScenarioConfig(work_scale=0.02, seed=0)
+
+
+class TestFig1:
+    def test_runs_and_reports_ratios(self):
+        result = fig1.run(TINY, apps=("lu", "mcf"))
+        assert set(result.remote_ratio) == {"lu", "mcf"}
+        for ratio in result.remote_ratio.values():
+            assert 0.0 <= ratio <= 1.0
+        assert "remote accesses" in result.format()
+
+
+class TestFig3:
+    def test_rpti_matches_paper_anchors(self):
+        result = fig3.run(TINY)
+        for row in result.rows:
+            assert row.rpti == pytest.approx(row.paper_rpti, rel=0.02)
+
+    def test_classes_match_paper(self):
+        result = fig3.run(TINY)
+        for row in result.rows:
+            assert row.vcpu_type is fig3.PAPER_CLASS[row.app]
+
+    def test_miss_rates_ordered_fr_fi_t(self):
+        result = fig3.run(TINY)
+        assert result.row("povray").miss_rate < result.row("lu").miss_rate
+        assert result.row("mg").miss_rate < result.row("milc").miss_rate
+
+    def test_row_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            fig3.run(TINY, apps=("lu",)).row("mg")
+
+
+class TestComparisonGrids:
+    def test_fig4_single_workload_grid(self):
+        result = fig4.run(TINY, workloads=("soplex",), schedulers=("credit", "vprobe"))
+        assert result.norm_exec_time("soplex", "credit") == pytest.approx(1.0)
+        vprobe_norm = result.norm_exec_time("soplex", "vprobe")
+        assert 0.3 < vprobe_norm < 1.3
+        assert "soplex" in result.format()
+
+    def test_fig5_runs(self):
+        result = fig5.run(TINY, workloads=("lu",), schedulers=("credit", "lb"))
+        assert result.norm_remote_accesses("lu", "credit") == pytest.approx(1.0)
+
+    def test_fig6_runs(self):
+        result = fig6.run(TINY, concurrencies=(16,), schedulers=("credit", "vprobe"))
+        assert result.cell("c=16", "vprobe").exec_time_s > 0
+
+    def test_fig7_throughput(self):
+        result = fig7.run(TINY, connections=(2000,), schedulers=("credit", "vprobe"))
+        tp = result.throughput("n=2000", "vprobe")
+        assert tp > 0
+        assert "ops/s" in result.format()
+
+    def test_improvement_accessor(self):
+        result = fig4.run(TINY, workloads=("soplex",), schedulers=("credit", "vprobe"))
+        imp = result.improvement_over("soplex", "vprobe", "credit")
+        assert -100.0 < imp < 100.0
+        workload, best = result.best_improvement("vprobe")
+        assert workload == "soplex"
+        assert best == pytest.approx(imp)
+
+
+class TestFig8:
+    def test_sweep_produces_runtime_per_period(self):
+        result = fig8.run(TINY, periods=(0.2, 1.0))
+        assert len(result.runtime_s) == 2
+        assert all(t > 0 or math.isnan(t) for t in result.runtime_s)
+        assert result.best_period() in (0.2, 1.0)
+        assert result.runtime_at(0.2) == result.runtime_s[0]
+
+    def test_unknown_period_lookup(self):
+        result = fig8.run(TINY, periods=(1.0,))
+        with pytest.raises(KeyError):
+            result.runtime_at(5.0)
+
+
+class TestTable3:
+    def test_overhead_small_and_positive(self):
+        result = table3.run(TINY, vm_counts=(1, 2))
+        for pct in result.overhead_pct:
+            assert 0.0 < pct < 0.1  # well under 0.1%, as the paper claims
+        assert result.overhead_at(1) == result.overhead_pct[0]
+
+    def test_breakdown_sources(self):
+        result = table3.run(TINY, vm_counts=(2,))
+        assert "pmu" in result.breakdown[0]
+
+
+class TestAblation:
+    def test_bounds_ablation_runs(self):
+        result = ablation.run_bounds_ablation(TINY)
+        assert set(result.runtime_s) == {"static-bounds", "dynamic-bounds"}
+        assert "variant" in result.format()
+
+    def test_classification_ablation_runs(self):
+        result = ablation.run_classification_ablation(TINY)
+        assert set(result.runtime_s) == {"standard-classes", "all-friendly"}
+
+
+class TestQuickComparison:
+    def test_returns_runtimes(self):
+        res = quick_comparison("lu", schedulers=("credit", "vprobe"), work_scale=0.02)
+        assert set(res) == {"credit", "vprobe"}
+        assert all(v > 0 for v in res.values())

@@ -1,0 +1,57 @@
+"""Tests for repro.workloads.generators."""
+
+import pytest
+
+from repro.core.classify import Bounds, classify
+from repro.workloads.generators import CLASS_PRESETS, scaled_profile, synthetic_profile
+from repro.workloads.suites import get_profile
+from repro.xen.vcpu import VcpuType
+
+
+class TestSyntheticProfile:
+    @pytest.mark.parametrize(
+        "llc_class,expected",
+        [
+            ("llc-fr", VcpuType.LLC_FR),
+            ("llc-fi", VcpuType.LLC_FI),
+            ("llc-t", VcpuType.LLC_T),
+        ],
+    )
+    def test_lands_in_requested_class(self, llc_class, expected):
+        profile = synthetic_profile(llc_class)
+        assert classify(profile.rpti, Bounds()) is expected
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="llc-fr"):
+            synthetic_profile("llc-q")  # type: ignore[arg-type]
+
+    def test_custom_name(self):
+        assert synthetic_profile("llc-t", name="probe").name == "probe"
+
+    def test_unbounded_option(self):
+        assert not synthetic_profile("llc-fi", total_instructions=None).is_finite
+
+    def test_phaseless_option(self):
+        assert synthetic_profile("llc-fi", with_phases=False).phase is None
+
+    def test_presets_cover_all_classes(self):
+        assert set(CLASS_PRESETS) == {"llc-fr", "llc-fi", "llc-t"}
+
+
+class TestScaledProfile:
+    def test_scales_total_instructions_only(self):
+        base = get_profile("lu")
+        scaled = scaled_profile(base, 0.25)
+        assert scaled.total_instructions == pytest.approx(
+            base.total_instructions * 0.25
+        )
+        assert scaled.rpti == base.rpti
+        assert scaled.working_set_bytes == base.working_set_bytes
+
+    def test_unbounded_profiles_returned_unchanged(self):
+        unbounded = synthetic_profile("llc-fr", total_instructions=None)
+        assert scaled_profile(unbounded, 0.5) is unbounded
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_profile(get_profile("lu"), 0.0)

@@ -1,0 +1,121 @@
+"""Integration tests: the paper's comparative shapes at reduced scale.
+
+These run the real §V-A scenarios (shortened) and assert the *relative*
+results the paper reports.  Scales are chosen so each test stays in the
+seconds range; the full-scale regenerations live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioConfig, compare, npb_scenario, spec_scenario
+from repro.experiments.scenarios import memcached_scenario
+
+CFG = ScenarioConfig(work_scale=0.12, seed=1)
+
+
+@pytest.fixture(scope="module")
+def soplex_results():
+    """One paired soplex comparison shared by the assertions below."""
+    return compare(
+        lambda p, c: spec_scenario("soplex", p, c),
+        CFG,
+        ("credit", "vprobe", "vcpu-p", "lb", "brm"),
+    )
+
+
+def runtime(results, name):
+    return results[name].domain("vm1").mean_finish_time_s
+
+
+class TestSpecShapes:
+    def test_vprobe_beats_credit(self, soplex_results):
+        assert runtime(soplex_results, "vprobe") < runtime(soplex_results, "credit")
+
+    def test_vprobe_beats_vcpu_p(self, soplex_results):
+        """The full system outperforms partitioning alone (§V-B1)."""
+        assert runtime(soplex_results, "vprobe") < runtime(soplex_results, "vcpu-p")
+
+    def test_vprobe_has_lowest_remote_accesses(self, soplex_results):
+        vprobe_remote = soplex_results["vprobe"].domain("vm1").remote_accesses
+        for name in ("credit", "vcpu-p", "brm"):
+            assert vprobe_remote < soplex_results[name].domain("vm1").remote_accesses
+
+    def test_credit_remote_ratio_is_high(self, soplex_results):
+        """§II-B motivation: Credit leaves a large remote fraction."""
+        assert soplex_results["credit"].domain("vm1").remote_ratio > 0.25
+
+    def test_vprobe_remote_ratio_is_low(self, soplex_results):
+        assert soplex_results["vprobe"].domain("vm1").remote_ratio < 0.3
+
+    def test_brm_does_not_beat_vprobe(self, soplex_results):
+        """BRM's lock contention keeps it behind vProbe (§V-B5)."""
+        assert runtime(soplex_results, "brm") > runtime(soplex_results, "vprobe")
+
+    def test_brm_overhead_is_significant(self, soplex_results):
+        brm_overhead = soplex_results["brm"].machine_stats.overhead_fraction
+        vprobe_overhead = soplex_results["vprobe"].machine_stats.overhead_fraction
+        assert brm_overhead > 10 * vprobe_overhead
+
+    def test_vprobe_overhead_negligible(self, soplex_results):
+        """§V-C1: well under 0.1% of busy time."""
+        assert soplex_results["vprobe"].machine_stats.overhead_fraction < 1e-3
+
+    def test_vprobe_balancer_avoids_cross_node_moves(self):
+        """Excluding the (deliberate) partition migrations, vProbe's
+        balancing paths move far less work across nodes than Credit's."""
+        from repro.experiments.scenarios import make_scheduler
+
+        cfg = ScenarioConfig(work_scale=0.06, seed=1, log_events=True)
+
+        def cross_balance_moves(scheduler):
+            machine = spec_scenario("soplex", make_scheduler(scheduler), cfg)
+            machine.run()
+            # "steal" is the machine-level record (the policy-level
+            # "numa_steal" duplicates it for vProbe).
+            return sum(
+                1
+                for e in machine.log
+                if e.kind in ("steal", "wake_migrate") and e.data.get("cross")
+            )
+
+        assert cross_balance_moves("vprobe") < cross_balance_moves("credit")
+
+
+class TestNpbShapes:
+    def test_sp_vprobe_beats_credit_and_vcpu_p(self):
+        results = compare(
+            lambda p, c: npb_scenario("sp", p, c),
+            CFG,
+            ("credit", "vprobe", "vcpu-p"),
+        )
+        assert runtime(results, "vprobe") < runtime(results, "credit")
+        assert runtime(results, "vprobe") < runtime(results, "vcpu-p")
+
+
+class TestServiceShapes:
+    def test_memcached_high_concurrency_vprobe_wins_clearly(self):
+        cfg = ScenarioConfig(work_scale=0.06, seed=3)
+        results = compare(
+            lambda p, c: memcached_scenario(96, p, c),
+            cfg,
+            ("credit", "vprobe"),
+        )
+        # The paper's best case is ~31% at c=80; demand at least a
+        # clear win at reduced scale.
+        assert runtime(results, "vprobe") < 0.92 * runtime(results, "credit")
+
+
+class TestPairedDeterminism:
+    def test_compare_is_reproducible(self):
+        a = compare(
+            lambda p, c: spec_scenario("milc", p, c),
+            ScenarioConfig(work_scale=0.03, seed=9),
+            ("credit", "vprobe"),
+        )
+        b = compare(
+            lambda p, c: spec_scenario("milc", p, c),
+            ScenarioConfig(work_scale=0.03, seed=9),
+            ("credit", "vprobe"),
+        )
+        for name in ("credit", "vprobe"):
+            assert runtime(a, name) == runtime(b, name)

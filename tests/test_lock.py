@@ -1,0 +1,56 @@
+"""Tests for repro.baselines.lock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.lock import GlobalLockModel
+
+
+class TestAcquireCost:
+    def test_uncontended_costs_critical_section(self):
+        lock = GlobalLockModel(critical_section_s=10e-6, free_threshold=8)
+        assert lock.acquire_cost(1) == pytest.approx(10e-6)
+        assert lock.acquire_cost(8) == pytest.approx(10e-6)
+
+    def test_contended_cost_linear_in_excess_waiters(self):
+        lock = GlobalLockModel(critical_section_s=10e-6, free_threshold=8, scale=1.0)
+        cost_16 = lock.acquire_cost(16)
+        cost_24 = lock.acquire_cost(24)
+        assert cost_16 == pytest.approx(10e-6 + 10e-6 * 8)
+        assert cost_24 == pytest.approx(10e-6 + 10e-6 * 16)
+
+    def test_scale_multiplies_wait_only(self):
+        base = GlobalLockModel(critical_section_s=10e-6, scale=1.0).acquire_cost(16)
+        scaled = GlobalLockModel(critical_section_s=10e-6, scale=2.0).acquire_cost(16)
+        assert scaled - 10e-6 == pytest.approx(2.0 * (base - 10e-6))
+
+    def test_statistics_accumulate(self):
+        lock = GlobalLockModel()
+        lock.acquire_cost(24)
+        lock.acquire_cost(4)
+        assert lock.acquisitions == 2
+        assert lock.total_wait_s > 0
+        assert lock.mean_wait_s() == pytest.approx(lock.total_wait_s / 2)
+
+    def test_mean_wait_zero_before_use(self):
+        assert GlobalLockModel().mean_wait_s() == 0.0
+
+    def test_negative_contenders_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalLockModel().acquire_cost(-1)
+
+    @given(st.integers(min_value=0, max_value=128))
+    def test_cost_monotone_in_contenders(self, contenders):
+        lock = GlobalLockModel()
+        assert lock.acquire_cost(contenders + 1) >= lock.acquire_cost(contenders)
+
+
+class TestConstruction:
+    def test_zero_critical_section_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalLockModel(critical_section_s=0.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalLockModel(free_threshold=-1)

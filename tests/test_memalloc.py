@@ -1,0 +1,124 @@
+"""Tests for repro.xen.memalloc: placement policies, drift, migration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xen.memalloc import (
+    MemoryPlacement,
+    place_interleaved,
+    place_single_node,
+    place_split,
+    place_weighted,
+)
+
+
+class TestConstruction:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MemoryPlacement(np.array([[0.5, 0.4]]))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPlacement(np.array([[1.5, -0.5]]))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            MemoryPlacement(np.array([1.0]))
+
+
+class TestPolicies:
+    def test_split_stripes_slices(self):
+        placement = place_split(4, 2)
+        assert placement.home_node(0) == 0
+        assert placement.home_node(1) == 1
+        assert placement.home_node(2) == 0
+        assert placement.home_node(3) == 1
+
+    def test_split_overall_mix_even(self):
+        mix = place_split(4, 2).overall_mix()
+        assert mix == pytest.approx([0.5, 0.5])
+
+    def test_single_node_concentrates(self):
+        placement = place_single_node(3, 2, node=1)
+        for s in range(3):
+            assert placement.slice_mix(s)[1] == 1.0
+
+    def test_interleave_uniform(self):
+        placement = place_interleaved(2, 4)
+        assert placement.slice_mix(0) == pytest.approx([0.25] * 4)
+
+    def test_weighted_normalises(self):
+        placement = place_weighted([[2.0, 2.0], [1.0, 3.0]])
+        assert placement.slice_mix(0) == pytest.approx([0.5, 0.5])
+        assert placement.slice_mix(1) == pytest.approx([0.25, 0.75])
+
+    def test_weighted_rejects_zero_row(self):
+        with pytest.raises(ValueError):
+            place_weighted([[0.0, 0.0]])
+
+
+class TestPageMix:
+    def test_full_concentration_is_slice_mix(self):
+        placement = place_split(4, 2)
+        assert placement.page_mix(0, 1.0) == pytest.approx([1.0, 0.0])
+
+    def test_zero_concentration_is_overall_mix(self):
+        placement = place_split(4, 2)
+        assert placement.page_mix(0, 0.0) == pytest.approx([0.5, 0.5])
+
+    def test_blend(self):
+        placement = place_split(2, 2)
+        mix = placement.page_mix(0, 0.8)
+        assert mix[0] == pytest.approx(0.8 * 1.0 + 0.2 * 0.5)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_page_mix_always_a_distribution(self, conc):
+        placement = place_split(4, 2)
+        mix = placement.page_mix(1, conc)
+        assert mix.sum() == pytest.approx(1.0)
+        assert (mix >= 0).all()
+
+
+class TestDrift:
+    def test_drift_moves_toward_node(self):
+        placement = place_single_node(1, 2, node=0)
+        placement.drift_slice(0, toward_node=1, amount=0.5)
+        assert placement.slice_mix(0) == pytest.approx([0.5, 0.5])
+
+    def test_drift_preserves_distribution(self):
+        placement = place_split(2, 2)
+        for _ in range(10):
+            placement.drift_slice(0, 1, 0.1)
+        assert placement.slice_mix(0).sum() == pytest.approx(1.0)
+
+    def test_zero_drift_noop(self):
+        placement = place_split(2, 2)
+        before = placement.slice_mix(0)
+        placement.drift_slice(0, 1, 0.0)
+        assert placement.slice_mix(0) == pytest.approx(before)
+
+    def test_repeated_drift_converges(self):
+        placement = place_single_node(1, 2, node=0)
+        for _ in range(200):
+            placement.drift_slice(0, 1, 0.05)
+        assert placement.slice_mix(0)[1] > 0.99
+
+
+class TestMigration:
+    def test_migrate_slice_moves_fraction(self):
+        placement = place_single_node(1, 2, node=0)
+        moved = placement.migrate_slice(0, to_node=1, fraction=0.4, slice_bytes=100.0)
+        assert moved == pytest.approx(40.0)
+        assert placement.slice_mix(0)[1] == pytest.approx(0.4)
+
+    def test_migrating_to_home_is_free(self):
+        placement = place_single_node(1, 2, node=0)
+        moved = placement.migrate_slice(0, to_node=0, fraction=0.4, slice_bytes=100.0)
+        assert moved == pytest.approx(0.0)
+
+    def test_rows_stay_normalised(self):
+        placement = place_interleaved(1, 3)
+        placement.migrate_slice(0, 2, 0.7, 10.0)
+        assert placement.slice_mix(0).sum() == pytest.approx(1.0)

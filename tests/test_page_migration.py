@@ -1,0 +1,88 @@
+"""Tests for the §VI page-migration extension in vProbe."""
+
+import pytest
+
+from repro.core.vprobe import VProbeParams, VProbeScheduler
+from repro.hardware.topology import xeon_e5620
+from repro.workloads.generators import synthetic_profile
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_single_node
+from repro.xen.simulator import Machine, SimConfig
+from repro.xen.vcpu import VcpuType
+
+GIB = 1024**3
+
+
+def build(page_migration=True, num_vcpus=4):
+    policy = VProbeScheduler(
+        vparams=VProbeParams(page_migration=page_migration)
+    )
+    machine = Machine(
+        xeon_e5620(),
+        policy,
+        SimConfig(seed=0, sample_period_s=0.2, max_time_s=5.0, log_events=True),
+    )
+    # All VCPUs pinned to node 0 with memory on node 0: the even spread
+    # must force half to node 1, making them page-migration targets.
+    profile = synthetic_profile("llc-t", total_instructions=None, with_phases=False)
+    domain = Domain.homogeneous(
+        "vm", 1 * GIB, place_single_node(num_vcpus, 2, node=0), profile, num_vcpus
+    )
+    domain.pinned_pcpus = [0, 1, 2, 3][:num_vcpus]
+    machine.add_domain(domain)
+    return machine, policy
+
+
+class TestParams:
+    def test_fraction_bounds_checked(self):
+        with pytest.raises(ValueError):
+            VProbeParams(page_migration_fraction=1.5)
+
+    def test_bandwidth_positive(self):
+        with pytest.raises(ValueError):
+            VProbeParams(page_copy_bandwidth=0.0)
+
+    def test_disabled_by_default(self):
+        assert not VProbeParams().page_migration
+
+
+class TestPageMigration:
+    def test_forced_remote_vcpus_get_pages_moved(self):
+        machine, _ = build(page_migration=True)
+        machine.run(max_time_s=1.0)
+        events = machine.log.of_kind("page_migration")
+        assert events, "expected page migrations for forced-remote VCPUs"
+        assert all(e.data["bytes"] > 0 for e in events)
+
+    def test_copy_cost_charged(self):
+        machine, _ = build(page_migration=True)
+        machine.run(max_time_s=1.0)
+        assert machine.overhead_s.get("page_migration", 0.0) > 0
+
+    def test_disabled_variant_never_migrates_pages(self):
+        machine, _ = build(page_migration=False)
+        machine.run(max_time_s=1.0)
+        assert machine.log.count("page_migration") == 0
+        assert "page_migration" not in machine.overhead_s
+
+    def test_migration_moves_placement_toward_assigned_node(self):
+        machine, _ = build(page_migration=True)
+        machine.run(max_time_s=1.0)
+        domain = machine.domains[0]
+        moved_any = any(
+            domain.placement.slice_mix(v.workload.slice_id)[1] > 0.05
+            for v in domain.vcpus
+            if v.assigned_node == 1
+        )
+        assert moved_any
+
+    def test_local_assignments_untouched(self):
+        machine, _ = build(page_migration=True)
+        machine.run(max_time_s=1.0)
+        domain = machine.domains[0]
+        for vcpu in domain.vcpus:
+            if vcpu.assigned_node == 0 and vcpu.vcpu_type.memory_intensive:
+                # Slices of locally-placed VCPUs stay home: first-touch
+                # drift pulls toward node 0 and no migration targets them.
+                mix = domain.placement.slice_mix(vcpu.workload.slice_id)
+                assert mix[0] > 0.9

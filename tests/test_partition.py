@@ -1,0 +1,162 @@
+"""Tests for repro.core.partition: Algorithm 1 invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import periodical_partition
+from repro.hardware.topology import symmetric_topology, xeon_e5620
+from repro.workloads.generators import synthetic_profile
+from repro.xen.credit import CreditScheduler
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+from repro.xen.vcpu import VcpuType
+
+GIB = 1024**3
+
+
+def build_machine(type_affinity_pairs, topology=None):
+    """A machine whose VCPUs have preset types and affinities.
+
+    ``type_affinity_pairs`` is a list of (VcpuType, affinity_node).
+    """
+    topo = topology or xeon_e5620()
+    machine = Machine(topo, CreditScheduler(), SimConfig(seed=0))
+    profile = synthetic_profile("llc-t", total_instructions=None)
+    domain = Domain.homogeneous(
+        "vm", 1 * GIB, place_split(len(type_affinity_pairs), topo.num_nodes),
+        profile, len(type_affinity_pairs),
+    )
+    machine.add_domain(domain)
+    for vcpu, (vtype, affinity) in zip(machine.vcpus, type_affinity_pairs):
+        vcpu.vcpu_type = vtype
+        vcpu.node_affinity = affinity
+        vcpu.llc_pressure = 25.0 if vtype is VcpuType.LLC_T else 10.0
+    return machine
+
+
+def node_of(machine, vcpu):
+    return machine.topology.node_of_pcpu(vcpu.pcpu)
+
+
+class TestEvenSpread:
+    def test_memory_intensive_split_evenly(self):
+        machine = build_machine([(VcpuType.LLC_T, 0)] * 4 + [(VcpuType.LLC_FI, 1)] * 4)
+        decisions = periodical_partition(machine, now=1.0)
+        assert len(decisions) == 8
+        per_node = [0, 0]
+        for d in decisions:
+            per_node[d.node] += 1
+        assert per_node == [4, 4]
+
+    def test_odd_count_differs_by_at_most_one(self):
+        machine = build_machine([(VcpuType.LLC_T, 0)] * 5)
+        decisions = periodical_partition(machine, now=1.0)
+        per_node = [0, 0]
+        for d in decisions:
+            per_node[d.node] += 1
+        assert abs(per_node[0] - per_node[1]) <= 1
+
+    def test_llc_fr_vcpus_left_alone(self):
+        machine = build_machine(
+            [(VcpuType.LLC_FR, 0), (VcpuType.LLC_FR, 1), (VcpuType.LLC_T, 0)]
+        )
+        decisions = periodical_partition(machine, now=1.0)
+        assert len(decisions) == 1
+        assert decisions[0].vcpu_type is VcpuType.LLC_T
+
+    def test_assigned_node_recorded_on_vcpu(self):
+        machine = build_machine([(VcpuType.LLC_T, 0), (VcpuType.LLC_T, 1)])
+        periodical_partition(machine, now=1.0)
+        for vcpu in machine.vcpus:
+            assert vcpu.assigned_node is not None
+            assert node_of(machine, vcpu) == vcpu.assigned_node
+
+
+class TestTypePriority:
+    def test_llc_t_assigned_before_llc_fi(self):
+        machine = build_machine(
+            [(VcpuType.LLC_FI, 0), (VcpuType.LLC_T, 0), (VcpuType.LLC_FI, 0), (VcpuType.LLC_T, 0)]
+        )
+        decisions = periodical_partition(machine, now=1.0)
+        types = [d.vcpu_type for d in decisions]
+        first_fi = types.index(VcpuType.LLC_FI)
+        assert all(t is VcpuType.LLC_T for t in types[:first_fi])
+
+
+class TestAffinityPreference:
+    def test_all_local_when_affinities_balanced(self):
+        machine = build_machine(
+            [(VcpuType.LLC_T, 0), (VcpuType.LLC_T, 1), (VcpuType.LLC_T, 0), (VcpuType.LLC_T, 1)]
+        )
+        decisions = periodical_partition(machine, now=1.0)
+        assert all(d.local for d in decisions)
+
+    def test_forced_violations_only_under_imbalance(self):
+        """With all affinities on node 1, exactly half must move away."""
+        machine = build_machine([(VcpuType.LLC_T, 1)] * 4)
+        decisions = periodical_partition(machine, now=1.0)
+        locals_ = sum(1 for d in decisions if d.local)
+        assert locals_ == 2  # node 1 takes 2; node 0's 2 are violations
+
+    def test_unknown_affinity_falls_back_to_current_node(self):
+        machine = build_machine([(VcpuType.LLC_T, None), (VcpuType.LLC_T, None)])
+        decisions = periodical_partition(machine, now=1.0)
+        assert len(decisions) == 2
+
+
+class TestTargetPcpuChoice:
+    def test_migrates_to_least_loaded_pcpu_of_node(self):
+        machine = build_machine([(VcpuType.LLC_T, 0)])
+        vcpu = machine.vcpus[0]
+        decision = periodical_partition(machine, now=1.0)[0]
+        # Lands on the decision node, on a PCPU that is no more loaded
+        # (after receiving the VCPU) than any peer plus the arrival.
+        assert machine.topology.node_of_pcpu(vcpu.pcpu) == decision.node
+        target = machine.pcpus[vcpu.pcpu]
+        peers = [
+            machine.pcpus[p]
+            for p in machine.topology.pcpus_of_node(decision.node)
+            if p != vcpu.pcpu
+        ]
+        assert target.load_with_current <= 1 + min(
+            p.load_with_current for p in peers
+        )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([VcpuType.LLC_T, VcpuType.LLC_FI, VcpuType.LLC_FR]),
+            st.integers(min_value=0, max_value=1),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(min_value=2, max_value=4),
+)
+def test_property_even_spread_and_coverage(pairs, num_nodes):
+    """Algorithm 1 invariants for arbitrary type/affinity mixes.
+
+    * every memory-intensive VCPU gets assigned exactly once;
+    * per-node assignment counts differ by at most one;
+    * a VCPU whose affinity matches its node is marked local.
+    """
+    topo = symmetric_topology(num_nodes, 2)
+    pairs = [(t, a % num_nodes) for t, a in pairs]
+    machine = build_machine(pairs, topology=topo)
+    decisions = periodical_partition(machine, now=1.0)
+
+    intensive = [v for v in machine.vcpus if v.vcpu_type.memory_intensive]
+    assert len(decisions) == len(intensive)
+    assert len({d.vcpu_key for d in decisions}) == len(decisions)
+
+    counts = [0] * num_nodes
+    for d in decisions:
+        counts[d.node] += 1
+    if decisions:
+        assert max(counts) - min(counts) <= 1
+
+    for d in decisions:
+        assert d.local == (d.affinity == d.node)

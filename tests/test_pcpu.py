@@ -1,0 +1,56 @@
+"""Tests for repro.xen.pcpu."""
+
+import pytest
+
+from repro.xen.pcpu import Pcpu
+
+from tests.helpers import make_vcpu
+
+
+class TestWorkloadCounter:
+    def test_tracks_queue_length(self):
+        pcpu = Pcpu(0, node=0)
+        assert pcpu.workload == 0
+        pcpu.queue.push(make_vcpu(0))
+        pcpu.queue.push(make_vcpu(1))
+        assert pcpu.workload == 2
+        pcpu.queue.pop()
+        assert pcpu.workload == 1
+
+    def test_load_with_current_counts_running(self):
+        pcpu = Pcpu(0, node=0)
+        assert pcpu.load_with_current == 0
+        pcpu.current = make_vcpu()
+        assert pcpu.load_with_current == 1
+        pcpu.queue.push(make_vcpu(1))
+        assert pcpu.load_with_current == 2
+
+    def test_idle_predicate(self):
+        pcpu = Pcpu(0, node=0)
+        assert pcpu.idle
+        pcpu.current = make_vcpu()
+        assert not pcpu.idle
+
+
+class TestOverheadAccounting:
+    def test_charge_then_consume(self):
+        pcpu = Pcpu(0, node=0)
+        pcpu.charge_overhead(3e-4)
+        remaining = pcpu.consume_overhead(1e-3)
+        assert remaining == pytest.approx(7e-4)
+        assert pcpu.overhead_pending_s == pytest.approx(0.0)
+
+    def test_overhead_carries_over_epochs(self):
+        pcpu = Pcpu(0, node=0)
+        pcpu.charge_overhead(2.5e-3)
+        assert pcpu.consume_overhead(1e-3) == 0.0
+        assert pcpu.consume_overhead(1e-3) == 0.0
+        assert pcpu.consume_overhead(1e-3) == pytest.approx(0.5e-3)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Pcpu(0, 0).charge_overhead(-1.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Pcpu(0, 0).consume_overhead(-1.0)

@@ -1,0 +1,138 @@
+"""Tests for repro.hardware.pmu: virtualised counters and windows."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.pmu import PMU, VcpuCounters
+
+
+@pytest.fixture
+def pmu():
+    p = PMU(num_nodes=2, collection_cost_s=1e-6)
+    p.register(0)
+    return p
+
+
+def charge(pmu, key=0, instr=1000.0, refs=20.0, misses=10.0, share=(0.5, 0.5), node=0):
+    pmu.charge(
+        key,
+        instructions=instr,
+        llc_refs=refs,
+        llc_misses=misses,
+        node_access_share=np.array(share),
+        run_node=node,
+    )
+
+
+class TestCharging:
+    def test_accumulates_totals(self, pmu):
+        charge(pmu)
+        charge(pmu)
+        totals = pmu.totals(0)
+        assert totals.instructions == 2000.0
+        assert totals.llc_refs == 40.0
+        assert totals.llc_misses == 20.0
+
+    def test_node_accesses_follow_share(self, pmu):
+        charge(pmu, misses=10.0, share=(0.8, 0.2))
+        totals = pmu.totals(0)
+        assert totals.node_accesses[0] == pytest.approx(8.0)
+        assert totals.node_accesses[1] == pytest.approx(2.0)
+
+    def test_local_remote_split_by_run_node(self, pmu):
+        charge(pmu, misses=10.0, share=(0.8, 0.2), node=0)
+        totals = pmu.totals(0)
+        assert totals.local_accesses == pytest.approx(8.0)
+        assert totals.remote_accesses == pytest.approx(2.0)
+
+    def test_remote_ratio(self, pmu):
+        charge(pmu, misses=10.0, share=(0.25, 0.75), node=0)
+        assert pmu.totals(0).remote_ratio() == pytest.approx(0.75)
+
+    def test_remote_ratio_zero_when_no_accesses(self, pmu):
+        charge(pmu, misses=0.0)
+        assert pmu.totals(0).remote_ratio() == 0.0
+
+    def test_unregistered_vcpu_rejected(self, pmu):
+        with pytest.raises(KeyError):
+            charge(pmu, key=42)
+
+    def test_bad_share_length_rejected(self, pmu):
+        with pytest.raises(ValueError):
+            charge(pmu, share=(1.0,))
+
+    def test_bad_run_node_rejected(self, pmu):
+        with pytest.raises(ValueError):
+            charge(pmu, node=2)
+
+
+class TestWindows:
+    def test_window_is_delta_since_last_end(self, pmu):
+        charge(pmu, instr=500.0)
+        pmu.end_window(0)
+        charge(pmu, instr=300.0)
+        window = pmu.window(0)
+        assert window.instructions == pytest.approx(300.0)
+
+    def test_end_window_returns_closed_delta(self, pmu):
+        charge(pmu, instr=500.0)
+        delta = pmu.end_window(0)
+        assert delta.instructions == pytest.approx(500.0)
+        # New window starts empty.
+        assert pmu.window(0).instructions == 0.0
+
+    def test_totals_unaffected_by_windows(self, pmu):
+        charge(pmu, instr=500.0)
+        pmu.end_window(0)
+        charge(pmu, instr=300.0)
+        assert pmu.totals(0).instructions == pytest.approx(800.0)
+
+    def test_totals_returns_copy(self, pmu):
+        charge(pmu)
+        totals = pmu.totals(0)
+        totals.node_accesses[0] = 999.0
+        assert pmu.totals(0).node_accesses[0] != 999.0
+
+
+class TestCollectionAccounting:
+    def test_collection_cost(self, pmu):
+        assert pmu.record_collection() == pytest.approx(1e-6)
+        assert pmu.record_collection(3) == pytest.approx(3e-6)
+        assert pmu.collection_events == 4
+
+    def test_negative_events_rejected(self, pmu):
+        with pytest.raises(ValueError):
+            pmu.record_collection(-1)
+
+
+class TestRegistry:
+    def test_register_unregister(self, pmu):
+        pmu.register(5)
+        assert 5 in pmu
+        pmu.unregister(5)
+        assert 5 not in pmu
+
+    def test_register_idempotent(self, pmu):
+        charge(pmu, instr=100.0)
+        pmu.register(0)  # must not reset counters
+        assert pmu.totals(0).instructions == 100.0
+
+    def test_known_sorted(self, pmu):
+        pmu.register(9)
+        pmu.register(4)
+        assert pmu.known() == (0, 4, 9)
+
+
+class TestVcpuCountersDelta:
+    def test_delta_arithmetic(self):
+        a = VcpuCounters(num_nodes=2, instructions=100.0, llc_refs=10.0)
+        b = VcpuCounters(num_nodes=2, instructions=250.0, llc_refs=30.0)
+        delta = b.delta(a)
+        assert delta.instructions == 150.0
+        assert delta.llc_refs == 20.0
+
+    def test_delta_rejects_node_mismatch(self):
+        a = VcpuCounters(num_nodes=2)
+        b = VcpuCounters(num_nodes=3)
+        with pytest.raises(ValueError):
+            b.delta(a)

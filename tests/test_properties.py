@@ -1,0 +1,101 @@
+"""Cross-cutting property tests of the machine engine.
+
+Hypothesis drives random small configurations through the full stack
+and checks conservation laws no scheduler may violate:
+
+* instructions retired (PMU) == instructions completed (workloads);
+* accesses split exactly into local + remote;
+* busy time never exceeds wall time x PCPUs;
+* every finite workload that completed has a finish time within the run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import make_scheduler
+from repro.hardware.topology import xeon_e5620
+from repro.metrics.collectors import summarize
+from repro.workloads.generators import synthetic_profile
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+
+GIB = 1024**3
+
+machine_configs = st.fixed_dictionaries(
+    {
+        "scheduler": st.sampled_from(["credit", "vprobe", "vcpu-p", "lb", "brm"]),
+        "llc_class": st.sampled_from(["llc-fr", "llc-fi", "llc-t"]),
+        "num_vcpus": st.integers(min_value=1, max_value=6),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def build(scheduler, llc_class, num_vcpus, seed):
+    machine = Machine(
+        xeon_e5620(),
+        make_scheduler(scheduler),
+        SimConfig(seed=seed, sample_period_s=0.1, max_time_s=2.0),
+    )
+    profile = synthetic_profile(llc_class, total_instructions=2e7)
+    machine.add_domain(
+        Domain.homogeneous("vm", 1 * GIB, place_split(num_vcpus, 2), profile, num_vcpus)
+    )
+    return machine
+
+
+@settings(max_examples=15, deadline=None)
+@given(machine_configs)
+def test_engine_conservation_laws(config):
+    machine = build(**config)
+    result = machine.run()
+    stats = summarize(machine).domain("vm")
+
+    # Instruction conservation: PMU totals == workload progress.
+    done = sum(w.instructions_done for w in machine.domains[0].workloads)
+    assert stats.instructions == pytest.approx(done, rel=1e-9)
+
+    # Access accounting closes.
+    assert stats.total_accesses == pytest.approx(
+        stats.local_accesses + stats.remote_accesses
+    )
+    assert 0.0 <= stats.remote_ratio <= 1.0
+
+    # Busy time bounded by wall time x PCPUs.
+    assert machine.busy_time_s <= result.sim_time_s * len(machine.pcpus) + 1e-9
+
+    # Completed workloads have in-range finish times.
+    for vcpu in machine.vcpus:
+        if vcpu.finish_time is not None:
+            assert 0.0 < vcpu.finish_time <= result.sim_time_s + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.sampled_from(["credit", "vprobe"]),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_no_vcpu_is_lost(scheduler, seed):
+    """At any stopping point, every VCPU is exactly one of: running on
+    one PCPU, queued on one PCPU, blocked, or done."""
+    machine = build(scheduler, "llc-fi", 6, seed)
+    machine.run(max_time_s=0.35)
+
+    running = [p.current for p in machine.pcpus if p.current is not None]
+    assert len(running) == len(set(id(v) for v in running))
+
+    queued = [v for p in machine.pcpus for v in p.queue]
+    assert len(queued) == len(set(id(v) for v in queued))
+    assert not (set(id(v) for v in running) & set(id(v) for v in queued))
+
+    for vcpu in machine.vcpus:
+        in_running = any(v is vcpu for v in running)
+        in_queue = any(v is vcpu for v in queued)
+        if vcpu.state.value == "running":
+            assert in_running and not in_queue
+        elif vcpu.state.value == "runnable":
+            assert in_queue and not in_running
+        else:  # blocked or done
+            assert not in_running and not in_queue

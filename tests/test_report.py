@@ -1,0 +1,76 @@
+"""Tests for repro.metrics.report."""
+
+import pytest
+
+from repro.metrics.report import (
+    format_table,
+    improvement_pct,
+    normalize_map,
+    normalized,
+)
+
+
+class TestNormalized:
+    def test_basic(self):
+        assert normalized(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            normalized(-1.0, 2.0)
+
+
+class TestNormalizeMap:
+    def test_normalises_to_credit(self):
+        values = {"credit": 10.0, "vprobe": 5.5}
+        out = normalize_map(values)
+        assert out["credit"] == pytest.approx(1.0)
+        assert out["vprobe"] == pytest.approx(0.55)
+
+    def test_custom_baseline(self):
+        out = normalize_map({"a": 2.0, "b": 4.0}, baseline_key="b")
+        assert out["a"] == pytest.approx(0.5)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            normalize_map({"vprobe": 1.0})
+
+
+class TestImprovementPct:
+    def test_paper_headline_arithmetic(self):
+        """45.2% improvement == normalised time 0.548."""
+        assert improvement_pct(0.548, 1.0) == pytest.approx(45.2)
+
+    def test_no_improvement(self):
+        assert improvement_pct(1.0, 1.0) == 0.0
+
+    def test_regression_is_negative(self):
+        assert improvement_pct(1.2, 1.0) == pytest.approx(-20.0)
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("long-name", 20.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.23456,)], float_fmt="{:.1f}")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_ints_and_strings_passthrough(self):
+        text = format_table(["n", "s"], [(3, "abc")])
+        assert "3" in text and "abc" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,81 @@
+"""Tests for repro.workloads.services: load-dependent service models."""
+
+import pytest
+
+from repro.core.classify import Bounds, classify
+from repro.workloads.services import (
+    MEMCACHED_INSTR_PER_OP,
+    REDIS_INSTR_PER_OP,
+    memcached_profile,
+    redis_profile,
+)
+
+
+class TestMemcachedProfile:
+    def test_working_set_grows_with_concurrency(self):
+        low = memcached_profile(16).working_set_bytes
+        high = memcached_profile(112).working_set_bytes
+        assert high > low
+
+    def test_low_concurrency_fits_llc(self):
+        assert memcached_profile(16).working_set_bytes < 12 * 1024**2
+
+    def test_high_concurrency_thrashes_llc(self):
+        assert memcached_profile(112).working_set_bytes > 12 * 1024**2
+
+    def test_duty_cycle_grows_then_saturates(self):
+        duties = [memcached_profile(c).blocking.duty_cycle for c in (16, 48, 80, 112)]
+        assert duties[0] < duties[1]
+        assert duties[-1] == pytest.approx(duties[-2], rel=0.05)
+
+    def test_run_bursts_lengthen_with_load(self):
+        low = memcached_profile(16).blocking.run_burst_s
+        high = memcached_profile(112).blocking.run_burst_s
+        assert high > low
+
+    def test_total_work_encodes_ops(self):
+        profile = memcached_profile(64, total_ops=1000.0)
+        assert profile.total_instructions == pytest.approx(
+            1000.0 * MEMCACHED_INSTR_PER_OP
+        )
+
+    def test_memory_intensive_classification(self):
+        for conc in (16, 64, 112):
+            vtype = classify(memcached_profile(conc).rpti, Bounds())
+            assert vtype.memory_intensive, conc
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            memcached_profile(0)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            memcached_profile(16, workers=0)
+
+
+class TestRedisProfile:
+    def test_working_set_grows_with_connections(self):
+        assert (
+            redis_profile(10000).working_set_bytes
+            > redis_profile(2000).working_set_bytes
+        )
+
+    def test_all_swept_points_memory_intensive(self):
+        for conn in (2000, 4000, 6000, 8000, 10000):
+            vtype = classify(redis_profile(conn).rpti, Bounds())
+            assert vtype.memory_intensive, conn
+
+    def test_total_work_encodes_requests(self):
+        profile = redis_profile(2000, total_requests=500.0)
+        assert profile.total_instructions == pytest.approx(500.0 * REDIS_INSTR_PER_OP)
+
+    def test_saturated_at_published_connection_counts(self):
+        # 2000+ connections saturate a single-threaded server.
+        assert redis_profile(2000).blocking.duty_cycle == pytest.approx(0.95)
+
+    def test_invalid_connections_rejected(self):
+        with pytest.raises(ValueError):
+            redis_profile(-5)
+
+    def test_profile_names_distinguish_load(self):
+        assert redis_profile(2000).name != redis_profile(4000).name

@@ -1,0 +1,135 @@
+"""Tests for repro.workloads.suites: calibration anchors and classes."""
+
+import pytest
+
+from repro.core.classify import Bounds, classify
+from repro.workloads.suites import (
+    ALL_PROFILES,
+    NPB_PROFILES,
+    SPEC_PROFILES,
+    get_profile,
+    hungry_loop,
+    profile_names,
+)
+from repro.xen.vcpu import VcpuType
+
+#: Fig. 3(b) anchors: profile RPTI must match the paper exactly.
+PAPER_RPTI = {
+    "povray": 0.48,
+    "ep": 2.01,
+    "lu": 15.38,
+    "mg": 16.33,
+    "milc": 21.68,
+    "libquantum": 22.41,
+}
+
+#: Published classification per measured application.
+PAPER_CLASS = {
+    "povray": VcpuType.LLC_FR,
+    "ep": VcpuType.LLC_FR,
+    "lu": VcpuType.LLC_FI,
+    "mg": VcpuType.LLC_FI,
+    "milc": VcpuType.LLC_T,
+    "libquantum": VcpuType.LLC_T,
+}
+
+
+class TestCalibrationAnchors:
+    @pytest.mark.parametrize("app,rpti", sorted(PAPER_RPTI.items()))
+    def test_rpti_matches_paper(self, app, rpti):
+        assert get_profile(app).rpti == pytest.approx(rpti)
+
+    @pytest.mark.parametrize("app,cls", sorted(PAPER_CLASS.items()))
+    def test_static_classification_matches_paper(self, app, cls):
+        profile = get_profile(app)
+        assert classify(profile.rpti, Bounds()) is cls
+
+    def test_all_evaluated_apps_memory_intensive(self):
+        """Every §V-B workload app classifies as LLC-FI or LLC-T."""
+        for app in ("soplex", "libquantum", "mcf", "milc", "bt", "cg", "lu", "mg", "sp"):
+            vtype = classify(get_profile(app).rpti, Bounds())
+            assert vtype.memory_intensive, app
+
+
+class TestProfileShapes:
+    def test_fi_apps_fit_in_socket_llc(self):
+        """LLC-FI working sets must fit the 12 MiB LLC alone."""
+        for app in ("bt", "lu", "mg", "sp", "soplex", "cg"):
+            assert get_profile(app).working_set_bytes <= 12 * 1024**2, app
+
+    def test_t_apps_exceed_socket_llc(self):
+        for app in ("milc", "libquantum", "mcf"):
+            assert get_profile(app).working_set_bytes > 12 * 1024**2, app
+
+    def test_all_suite_profiles_finite(self):
+        for name, profile in ALL_PROFILES.items():
+            assert profile.is_finite, name
+
+    def test_memory_apps_have_phases(self):
+        assert get_profile("soplex").phase is not None
+        assert get_profile("lu").phase is not None
+
+    def test_profiles_have_os_noise(self):
+        for name, profile in ALL_PROFILES.items():
+            assert profile.blocking is not None, name
+            assert profile.blocking.duty_cycle > 0.9, name
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        from repro.workloads.suites import EXTRA_PROFILES
+
+        names = profile_names()
+        assert list(names) == sorted(names)
+        assert set(names) == (
+            set(SPEC_PROFILES) | set(NPB_PROFILES) | set(EXTRA_PROFILES)
+        )
+
+    def test_unknown_profile_reports_known_names(self):
+        with pytest.raises(KeyError, match="povray"):
+            get_profile("nonexistent")
+
+    def test_no_name_collisions_between_suites(self):
+        assert not set(SPEC_PROFILES) & set(NPB_PROFILES)
+
+
+class TestHungryLoop:
+    def test_classifies_friendly(self):
+        assert classify(hungry_loop().rpti, Bounds()) is VcpuType.LLC_FR
+
+    def test_never_finishes(self):
+        assert not hungry_loop().is_finite
+
+    def test_never_blocks(self):
+        assert hungry_loop().blocking is None
+
+    def test_no_first_touch(self):
+        assert hungry_loop().touch_rate == 0.0
+
+
+class TestExtraProfiles:
+    """The beyond-the-paper profile set (EXTRA_PROFILES)."""
+
+    def test_registered_in_all_profiles(self):
+        from repro.workloads.suites import EXTRA_PROFILES
+
+        for name in EXTRA_PROFILES:
+            assert get_profile(name).name == name
+
+    def test_extra_classes_as_characterised(self):
+        assert classify(get_profile("lbm").rpti, Bounds()) is VcpuType.LLC_T
+        assert classify(get_profile("is").rpti, Bounds()) is VcpuType.LLC_T
+        for app in ("ft", "ua", "omnetpp", "gcc"):
+            assert classify(get_profile(app).rpti, Bounds()) is VcpuType.LLC_FI, app
+
+    def test_no_collision_with_paper_set(self):
+        from repro.workloads.suites import EXTRA_PROFILES
+
+        assert not set(EXTRA_PROFILES) & (set(SPEC_PROFILES) | set(NPB_PROFILES))
+
+    def test_extra_profiles_runnable(self):
+        """An end-to-end spin with one extra profile."""
+        from repro.experiments import ScenarioConfig, quick_comparison
+
+        res = quick_comparison("lbm", schedulers=("credit",), work_scale=0.01)
+        assert res["credit"] > 0

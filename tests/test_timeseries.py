@@ -1,0 +1,98 @@
+"""Tests for repro.metrics.timeseries."""
+
+import pytest
+
+from repro.core.vprobe import vprobe
+from repro.hardware.topology import xeon_e5620
+from repro.metrics.timeseries import Trace, take_snapshot, trace_run
+from repro.workloads.generators import synthetic_profile
+from repro.xen.credit import CreditScheduler
+from repro.xen.domain import Domain
+from repro.xen.memalloc import place_split
+from repro.xen.simulator import Machine, SimConfig
+
+GIB = 1024**3
+
+
+def build(policy=None, total=3e8, num_vcpus=4):
+    machine = Machine(
+        xeon_e5620(),
+        policy or CreditScheduler(),
+        SimConfig(seed=2, sample_period_s=0.2, max_time_s=20.0),
+    )
+    profile = synthetic_profile("llc-t", total_instructions=total)
+    machine.add_domain(
+        Domain.homogeneous("vm", 1 * GIB, place_split(num_vcpus, 2), profile, num_vcpus)
+    )
+    return machine
+
+
+class TestSnapshot:
+    def test_initial_snapshot_is_empty(self):
+        snap = take_snapshot(build())
+        assert snap.time_s == 0.0
+        assert snap.accesses["vm"] == (0.0, 0.0)
+        assert snap.migrations == (0, 0)
+
+    def test_intensive_per_node_counts_runnable(self):
+        machine = build()
+        for vcpu in machine.vcpus:
+            vcpu.vcpu_type = type(vcpu.vcpu_type).LLC_T
+        snap = take_snapshot(machine)
+        assert sum(snap.intensive_per_node) == 4
+
+
+class TestTraceRun:
+    def test_snapshots_cover_run(self):
+        machine = build()
+        trace = trace_run(machine, interval_s=0.25)
+        assert len(trace) >= 3
+        times = trace.times()
+        assert times[0] == 0.0
+        assert times == sorted(times)
+
+    def test_counters_monotone(self):
+        machine = build()
+        trace = trace_run(machine, interval_s=0.25)
+        instr = [s.instructions["vm"] for s in trace.snapshots]
+        assert instr == sorted(instr)
+        migr = [s.migrations[0] for s in trace.snapshots]
+        assert migr == sorted(migr)
+
+    def test_window_remote_ratio_bounded(self):
+        machine = build()
+        trace = trace_run(machine, interval_s=0.25)
+        ratios = trace.window_remote_ratio("vm")
+        assert len(ratios) == len(trace) - 1
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+    def test_migration_rate_non_negative(self):
+        machine = build()
+        trace = trace_run(machine, interval_s=0.25)
+        assert all(r >= 0 for r in trace.window_migration_rate())
+
+    def test_node_imbalance_shape(self):
+        machine = build(policy=vprobe())
+        trace = trace_run(machine, interval_s=0.25)
+        imbalance = trace.node_imbalance()
+        assert all(i >= 0 for i in imbalance)
+
+    def test_vprobe_trace_reaches_locality(self):
+        """After the first sampling periods, vProbe's windows must be
+        clearly more local than the run's start."""
+        machine = build(policy=vprobe(), total=8e8)
+        trace = trace_run(machine, interval_s=0.25)
+        ratios = trace.window_remote_ratio("vm")
+        assert len(ratios) >= 4
+        late = min(ratios[2:])
+        assert late < 0.35
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            trace_run(build(), interval_s=0.0)
+
+    def test_empty_trace_helpers(self):
+        trace = Trace()
+        assert trace.window_remote_ratio("vm") == []
+        assert trace.window_migration_rate() == []
+        assert trace.node_imbalance() == []

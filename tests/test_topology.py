@@ -1,0 +1,105 @@
+"""Tests for repro.hardware.topology, including the Table I constants."""
+
+import pytest
+
+from repro.hardware.topology import (
+    GIB,
+    MIB,
+    NodeSpec,
+    NUMATopology,
+    symmetric_topology,
+    xeon_e5620,
+)
+
+
+class TestTableIConstants:
+    """The default host must encode the paper's Table I."""
+
+    def test_two_sockets_of_four_cores(self):
+        topo = xeon_e5620()
+        assert topo.num_nodes == 2
+        assert topo.num_pcpus == 8
+        assert all(n.num_pcpus == 4 for n in topo.nodes)
+
+    def test_clock_frequency(self):
+        assert all(n.clock_hz == pytest.approx(2.40e9) for n in xeon_e5620().nodes)
+
+    def test_llc_is_12_mib_per_socket(self):
+        assert all(n.llc_bytes == 12 * MIB for n in xeon_e5620().nodes)
+
+    def test_memory_12_gib_per_node(self):
+        topo = xeon_e5620()
+        assert all(n.memory_bytes == 12 * GIB for n in topo.nodes)
+        assert topo.total_memory_bytes == 24 * GIB
+
+    def test_two_qpi_links(self):
+        assert xeon_e5620().qpi_links == 2
+
+
+class TestTopologyShape:
+    def test_pcpu_node_mapping(self):
+        topo = xeon_e5620()
+        assert [topo.node_of_pcpu(p) for p in range(8)] == [0] * 4 + [1] * 4
+
+    def test_pcpus_of_node(self):
+        topo = xeon_e5620()
+        assert topo.pcpus_of_node(0) == (0, 1, 2, 3)
+        assert topo.pcpus_of_node(1) == (4, 5, 6, 7)
+
+    def test_peer_pcpus_excludes_self(self):
+        topo = xeon_e5620()
+        assert topo.peer_pcpus(1) == (0, 2, 3)
+
+    def test_remote_nodes(self):
+        topo = symmetric_topology(4, 2)
+        assert topo.remote_nodes(2) == (0, 1, 3)
+
+    def test_distance_matrix(self):
+        topo = xeon_e5620()
+        assert topo.distance(0, 0) == 0
+        assert topo.distance(0, 1) == 1
+        assert topo.distance(1, 0) == 1
+
+    def test_same_node(self):
+        topo = xeon_e5620()
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(3, 4)
+
+    def test_out_of_range_pcpu_rejected(self):
+        with pytest.raises(ValueError):
+            xeon_e5620().node_of_pcpu(8)
+
+    def test_describe_mentions_nodes(self):
+        text = xeon_e5620().describe()
+        assert "node 0" in text and "node 1" in text
+
+
+class TestConstruction:
+    def test_nodes_must_be_in_id_order(self):
+        spec = dict(num_pcpus=1, llc_bytes=1 * MIB, memory_bytes=1 * GIB,
+                    imc_bandwidth=1e9, clock_hz=1e9)
+        nodes = [NodeSpec(node_id=1, **spec), NodeSpec(node_id=0, **spec)]
+        with pytest.raises(ValueError):
+            NUMATopology(nodes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NUMATopology([])
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0, 1, 1 * MIB, 1 * GIB, -1.0, 1e9)
+
+    def test_symmetric_topology_shape(self):
+        topo = symmetric_topology(3, 2, llc_mib=8)
+        assert topo.num_nodes == 3
+        assert topo.num_pcpus == 6
+        assert topo.nodes[2].llc_bytes == 8 * MIB
+
+    def test_symmetric_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            symmetric_topology(0, 2)
+
+    def test_memory_pages(self):
+        node = xeon_e5620().nodes[0]
+        assert node.memory_pages == 12 * GIB // 4096

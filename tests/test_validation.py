@@ -1,0 +1,107 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.validation import (
+    check_fraction,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+    def test_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")  # type: ignore[arg-type]
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            check_positive(-1, "bandwidth")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001, "x")
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_returns_float(self, value):
+        out = check_non_negative(value, "x")
+        assert isinstance(out, float) and out == value
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0000001, "f")
+
+
+class TestCheckIndex:
+    def test_accepts_in_range(self):
+        assert check_index(3, 4, "i") == 3
+
+    def test_rejects_equal_to_bound(self):
+        with pytest.raises(ValueError):
+            check_index(4, 4, "i")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_index(-1, 4, "i")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_index(True, 4, "i")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_index(1.0, 4, "i")  # type: ignore[arg-type]
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        assert check_probability_vector([0.25, 0.75], "p") == [0.25, 0.75]
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.5, 0.6], "p")
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1, 1.1], "p")
+
+    def test_tolerates_float_noise(self):
+        vec = [1.0 / 3.0] * 3
+        assert math.isclose(sum(check_probability_vector(vec, "p")), 1.0)

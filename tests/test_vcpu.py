@@ -1,0 +1,91 @@
+"""Tests for repro.xen.vcpu: state machine and priority ranks."""
+
+import pytest
+
+from repro.xen.vcpu import VcpuState, VcpuType
+
+from tests.helpers import make_vcpu
+
+
+class TestPriority:
+    def test_under_when_credits_non_negative(self):
+        assert make_vcpu(credits=0.0).priority_under
+        assert make_vcpu(credits=50.0).priority_under
+
+    def test_over_when_credits_negative(self):
+        assert not make_vcpu(credits=-1.0).priority_under
+
+    def test_rank_order(self):
+        assert make_vcpu(boosted=True).priority_rank == 0
+        assert make_vcpu(credits=10).priority_rank == 1
+        assert make_vcpu(credits=-10).priority_rank == 2
+
+    def test_boost_dominates_credits(self):
+        assert make_vcpu(credits=-300, boosted=True).priority_rank == 0
+
+
+class TestStateMachine:
+    def test_begin_and_stop_run(self):
+        vcpu = make_vcpu()
+        vcpu.begin_run(1.5)
+        assert vcpu.state is VcpuState.RUNNING
+        assert vcpu.run_start_time == 1.5
+        vcpu.stop_run()
+        assert vcpu.state is VcpuState.RUNNABLE
+
+    def test_stop_run_noop_when_not_running(self):
+        vcpu = make_vcpu()
+        vcpu.block_until(2.0)
+        vcpu.stop_run()
+        assert vcpu.state is VcpuState.BLOCKED
+
+    def test_block_clears_boost_and_slice(self):
+        vcpu = make_vcpu(boosted=True)
+        vcpu.slice_used_s = 0.02
+        vcpu.block_until(3.0)
+        assert vcpu.state is VcpuState.BLOCKED
+        assert not vcpu.boosted
+        assert vcpu.slice_used_s == 0.0
+        assert vcpu.wake_time == 3.0
+
+    def test_mark_done_records_time(self):
+        vcpu = make_vcpu()
+        vcpu.mark_done(4.2)
+        assert vcpu.state is VcpuState.DONE
+        assert vcpu.finish_time == 4.2
+        assert not vcpu.runnable
+
+    def test_runnable_predicate(self):
+        vcpu = make_vcpu()
+        assert vcpu.runnable
+        vcpu.begin_run(0.0)
+        assert vcpu.runnable
+        vcpu.block_until(1.0)
+        assert not vcpu.runnable
+
+
+class TestStatistics:
+    def test_migration_counters(self):
+        vcpu = make_vcpu()
+        vcpu.record_migration(cross_node=False)
+        vcpu.record_migration(cross_node=True)
+        assert vcpu.migrations == 2
+        assert vcpu.cross_node_migrations == 1
+
+    def test_name_combines_domain_and_index(self):
+        vcpu = make_vcpu()
+        assert vcpu.name == "dom.v0"
+
+
+class TestVcpuType:
+    def test_memory_intensive_classes(self):
+        assert VcpuType.LLC_T.memory_intensive
+        assert VcpuType.LLC_FI.memory_intensive
+        assert not VcpuType.LLC_FR.memory_intensive
+
+    def test_default_fields(self):
+        vcpu = make_vcpu()
+        assert vcpu.vcpu_type is VcpuType.LLC_FR
+        assert vcpu.node_affinity is None
+        assert vcpu.assigned_node is None
+        assert vcpu.uncore_penalty == 0.0
