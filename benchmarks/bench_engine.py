@@ -3,21 +3,135 @@
 These time the engine itself (not a paper experiment) so performance
 regressions in the contention solve or the scheduler pass are caught:
 per the project's optimisation rules, measure before optimising.
+
+``test_engine_speedup`` is the acceptance gate for the vectorized
+engine: it times the reference and vector engines back to back with
+``time.perf_counter`` (so it runs even under ``--benchmark-disable``),
+asserts the vector engine is at least 3x faster per epoch, and writes
+the measured before/after numbers to ``benchmarks/BENCH_engine.json``.
 """
+
+import json
+import pathlib
+import time
 
 from repro.experiments import ScenarioConfig, make_scheduler, spec_scenario
 from repro.hardware.cache import CacheDemand, CacheModel, waterfill_shares
 
 MIB = 1024**2
 
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
+#: The engine-comparison scenario: the Fig. 4 soplex workload at full
+#: scale — 24 VCPUs over 8 PCPUs under vProbe, the configuration whose
+#: epoch loop dominates every experiment's wall time.
+SPEEDUP_SCENARIO = "spec soplex, 24 VCPUs / 8 PCPUs, vprobe, work_scale=1.0"
+
+
+def _steady_machine(engine: str):
+    """A warmed-up machine (past initial placement) on ``engine``."""
+    cfg = ScenarioConfig(work_scale=1.0, seed=0, engine=engine)
+    machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
+    machine.run(max_time_s=0.05)
+    return machine
+
+
+def _us_per_epoch(machine, epochs: int) -> float:
+    """Wall time of ``epochs`` steady-state steps, in us/epoch."""
+    step = machine._step_epoch
+    start = time.perf_counter()
+    for _ in range(epochs):
+        step()
+    return (time.perf_counter() - start) / epochs * 1e6
+
 
 def test_epoch_step_throughput(benchmark):
     """Steady-state cost of one simulated epoch (24 VCPUs, 8 PCPUs)."""
-    cfg = ScenarioConfig(work_scale=1.0, seed=0)
-    machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
-    machine.run(max_time_s=0.05)  # warm up past initial placement
+    machine = _steady_machine("vector")
 
     benchmark(machine._step_epoch)
+
+
+def test_epoch_step_throughput_reference(benchmark):
+    """The same epoch cost through the reference (dict) engine."""
+    machine = _steady_machine("reference")
+
+    benchmark(machine._step_epoch)
+
+
+def test_engine_speedup():
+    """Vector engine is >= 3x the reference engine, measured paired.
+
+    Reference and vector measurements interleave (ref, vec, ref, vec,
+    ...) and each side keeps its minimum, so a background-load spike
+    during one round cannot skew the ratio.  The result is written to
+    ``BENCH_engine.json`` as the committed before/after record.
+    """
+    rounds = 4
+    epochs = 2000
+    ref_machine = _steady_machine("reference")
+    vec_machine = _steady_machine("vector")
+    # One untimed round each to warm allocator and branch caches.
+    _us_per_epoch(ref_machine, 200)
+    _us_per_epoch(vec_machine, 200)
+    ref_us = float("inf")
+    vec_us = float("inf")
+    for _ in range(rounds):
+        ref_us = min(ref_us, _us_per_epoch(ref_machine, epochs))
+        vec_us = min(vec_us, _us_per_epoch(vec_machine, epochs))
+    speedup = ref_us / vec_us
+
+    # End-to-end check on a full (scaled-down) scenario run: the same
+    # workload from scratch, wall-clocked through Machine.run().
+    def run_full(engine: str) -> float:
+        cfg = ScenarioConfig(work_scale=0.25, seed=0, engine=engine)
+        machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
+        start = time.perf_counter()
+        machine.run()
+        return time.perf_counter() - start
+
+    ref_wall = run_full("reference")
+    vec_wall = run_full("vector")
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "scenario": SPEEDUP_SCENARIO,
+                "epoch_microbench": {
+                    "epochs_per_round": epochs,
+                    "rounds": rounds,
+                    "reference_us_per_epoch": round(ref_us, 2),
+                    "vector_us_per_epoch": round(vec_us, 2),
+                    "speedup": round(speedup, 2),
+                },
+                "end_to_end": {
+                    "scenario": "spec soplex, work_scale=0.25, full run",
+                    "reference_wall_s": round(ref_wall, 3),
+                    "vector_wall_s": round(vec_wall, 3),
+                    "speedup": round(ref_wall / vec_wall, 2),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= 3.0, (
+        f"vector engine speedup {speedup:.2f}x "
+        f"({ref_us:.1f} -> {vec_us:.1f} us/epoch) fell below 3x"
+    )
+
+
+def test_scenario_wallclock(benchmark):
+    """End-to-end wall clock of a full scaled-down scenario run."""
+
+    def run_full():
+        cfg = ScenarioConfig(work_scale=0.25, seed=0)
+        machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
+        machine.run()
+        return machine
+
+    benchmark.pedantic(run_full, rounds=1, iterations=1)
 
 
 def test_llc_solve_cost(benchmark):

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+from functools import partial
 from typing import List, Optional
 
 from repro.core.classify import Bounds, classify
@@ -65,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--sample-period", type=float, default=1.0, help="vProbe sampling period (s)"
     )
+    cmp_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (one scheduler run per cell; 1 = serial)",
+    )
 
     solo_p = sub.add_parser("solo", help="solo calibration run (Fig. 3)")
     solo_p.add_argument("app")
@@ -73,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser("report", help="regenerate all tables/figures")
     rep_p.add_argument("outdir", nargs="?", default="results")
     rep_p.add_argument("--fast", action="store_true")
+    rep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the comparison grids (1 = serial)",
+    )
 
     return parser
 
@@ -84,10 +97,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         sample_period_s=args.sample_period,
     )
     if args.app in NPB_PROFILES:
-        builder = lambda p, c: npb_scenario(args.app, p, c)
+        builder = partial(npb_scenario, args.app)
     else:
-        builder = lambda p, c: spec_scenario(args.app, p, c)
-    results = compare(builder, cfg, args.schedulers)
+        builder = partial(spec_scenario, args.app)
+    if args.jobs > 1:
+        from repro.experiments.parallel import ParallelRunner
+
+        results = ParallelRunner(args.jobs).compare(builder, cfg, args.schedulers)
+    else:
+        results = compare(builder, cfg, args.schedulers)
 
     baseline = args.schedulers[0]
     base_time = results[baseline].domain("vm1").mean_finish_time_s
@@ -127,7 +145,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_solo(args: argparse.Namespace) -> int:
     cfg = ScenarioConfig(work_scale=args.work_scale, seed=0)
-    builder = lambda p, c: solo_scenario(args.app, p, c)
+    builder = partial(solo_scenario, args.app)
     summary = run_one(builder, "credit", cfg)
     stats = summary.domain("vm1")
     vtype = classify(stats.rpti, Bounds())
@@ -143,7 +161,7 @@ def _cmd_solo(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report_all import regenerate_all
 
-    regenerate_all(pathlib.Path(args.outdir), fast=args.fast)
+    regenerate_all(pathlib.Path(args.outdir), fast=args.fast, jobs=args.jobs)
     return 0
 
 

@@ -139,9 +139,7 @@ class VProbeScheduler(CreditScheduler):
 
         if self.vparams.enable_partition:
             decisions = periodical_partition(machine, now)
-            cost = self.vparams.partition_cost_per_vcpu_s * max(
-                len(decisions), 0
-            )
+            cost = self.vparams.partition_cost_per_vcpu_s * len(decisions)
             # The partitioning pass runs on one PCPU (dom0's), eating
             # its guest time — the Table III "overhead time".
             machine.charge_overhead("partition", machine.pcpus[0], cost)

@@ -14,6 +14,7 @@ Module             Reproduces
 =================  ====================================================
 """
 
+from functools import partial
 from typing import Dict, Iterable, Optional
 
 from repro.experiments import (
@@ -28,6 +29,7 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
+from repro.experiments.parallel import ParallelRunner, default_jobs
 from repro.experiments.runner import (
     MeanStats,
     ScenarioBuilder,
@@ -70,6 +72,8 @@ __all__ = [
     "compare",
     "compare_mean",
     "MeanStats",
+    "ParallelRunner",
+    "default_jobs",
     "quick_comparison",
     "spec_scenario",
     "mix_scenario",
@@ -97,9 +101,9 @@ def quick_comparison(
 
     cfg = ScenarioConfig(work_scale=work_scale, seed=seed)
     if app in NPB_PROFILES:
-        builder: ScenarioBuilder = lambda p, c: npb_scenario(app, p, c)
+        builder: ScenarioBuilder = partial(npb_scenario, app)
     else:
-        builder = lambda p, c: spec_scenario(app, p, c)
+        builder = partial(spec_scenario, app)
     summaries = compare(builder, cfg, schedulers or ("credit", "vprobe"))
     return {
         name: summary.domain("vm1").mean_finish_time_s or float("nan")

@@ -142,17 +142,35 @@ def run_grid(
     points: Sequence[WorkloadPoint],
     cfg: Optional[ScenarioConfig] = None,
     schedulers: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> ComparisonResult:
-    """Run every (workload, scheduler) pair of a comparison figure."""
+    """Run every (workload, scheduler) pair of a comparison figure.
+
+    ``jobs > 1`` fans the independent cells across worker processes
+    (each cell reruns the same seeded scenario, so results are
+    identical to the serial pass).
+    """
     config = cfg or ScenarioConfig()
     names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
     cells: Dict[Tuple[str, str], ComparisonCell] = {}
-    for point in points:
-        summaries = compare(point.builder, config, names)
-        for sched, summary in summaries.items():
-            cells[(point.label, sched)] = ComparisonCell.from_summary(
-                point.label, summary
-            )
+    if jobs > 1:
+        from repro.experiments.parallel import ParallelRunner
+
+        flat = [(p.builder, sched, config) for p in points for sched in names]
+        summaries = ParallelRunner(jobs).run_cells(flat)
+        rows = iter(summaries)
+        for point in points:
+            for sched in names:
+                cells[(point.label, sched)] = ComparisonCell.from_summary(
+                    point.label, next(rows)
+                )
+    else:
+        for point in points:
+            summaries = compare(point.builder, config, names)
+            for sched, summary in summaries.items():
+                cells[(point.label, sched)] = ComparisonCell.from_summary(
+                    point.label, summary
+                )
     return ComparisonResult(
         name=name,
         workloads=tuple(p.label for p in points),

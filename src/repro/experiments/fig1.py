@@ -16,6 +16,7 @@ level is testbed-specific.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.runner import run_one
@@ -75,7 +76,7 @@ def run(
     config = cfg or ScenarioConfig(work_scale=0.1)
     ratios: Dict[str, float] = {}
     for app in apps:
-        builder = lambda p, c, a=app: motivation_scenario(a, p, c)
+        builder = partial(motivation_scenario, app)
         summary = run_one(builder, scheduler, config)
         ratios[app] = summary.domain("vm1").remote_ratio
     return Fig1Result(remote_ratio=ratios, scheduler=scheduler)

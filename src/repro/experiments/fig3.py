@@ -16,6 +16,8 @@ into its published category under the default bounds.
 
 from __future__ import annotations
 
+from functools import partial
+
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -99,7 +101,7 @@ def run(
     b = bounds or Bounds()
     rows = []
     for app in apps:
-        builder = lambda p, c, a=app: solo_scenario(a, p, c)
+        builder = partial(solo_scenario, app)
         summary = run_one(builder, "credit", config)
         stats = summary.domain("vm1")
         rows.append(

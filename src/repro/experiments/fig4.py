@@ -12,6 +12,7 @@ despite reducing both access counts (lock contention).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence, Tuple
 
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
@@ -32,7 +33,7 @@ def points(workloads: Sequence[str] = FIG4_WORKLOADS) -> list[WorkloadPoint]:
         else:
             pts.append(
                 WorkloadPoint(
-                    name, lambda p, c, a=name: spec_scenario(a, p, c)
+                    name, partial(spec_scenario, name)
                 )
             )
     return pts
@@ -42,6 +43,9 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     workloads: Sequence[str] = FIG4_WORKLOADS,
     schedulers: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> ComparisonResult:
-    """Run the Fig. 4 grid."""
-    return run_grid("Figure 4: SPEC CPU2006", points(workloads), cfg, schedulers)
+    """Run the Fig. 4 grid (``jobs > 1`` fans cells across processes)."""
+    return run_grid(
+        "Figure 4: SPEC CPU2006", points(workloads), cfg, schedulers, jobs=jobs
+    )

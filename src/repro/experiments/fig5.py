@@ -11,6 +11,7 @@ because it preserves locality between sampling periods.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence, Tuple
 
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
@@ -25,7 +26,7 @@ FIG5_WORKLOADS: Tuple[str, ...] = ("bt", "cg", "lu", "mg", "sp")
 def points(workloads: Sequence[str] = FIG5_WORKLOADS) -> list[WorkloadPoint]:
     """Workload points for the Fig. 5 grid."""
     return [
-        WorkloadPoint(name, lambda p, c, a=name: npb_scenario(a, p, c))
+        WorkloadPoint(name, partial(npb_scenario, name))
         for name in workloads
     ]
 
@@ -34,6 +35,9 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     workloads: Sequence[str] = FIG5_WORKLOADS,
     schedulers: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> ComparisonResult:
-    """Run the Fig. 5 grid."""
-    return run_grid("Figure 5: NPB", points(workloads), cfg, schedulers)
+    """Run the Fig. 5 grid (``jobs > 1`` fans cells across processes)."""
+    return run_grid(
+        "Figure 5: NPB", points(workloads), cfg, schedulers, jobs=jobs
+    )

@@ -11,6 +11,7 @@ concurrency — and with it the servers' cache footprint — grows.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence, Tuple
 
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
@@ -26,7 +27,7 @@ def points(concurrencies: Sequence[int] = FIG6_CONCURRENCY) -> list[WorkloadPoin
     """Workload points for the Fig. 6 sweep."""
     return [
         WorkloadPoint(
-            f"c={conc}", lambda p, c, cc=conc: memcached_scenario(cc, p, c)
+            f"c={conc}", partial(memcached_scenario, conc)
         )
         for conc in concurrencies
     ]
@@ -36,8 +37,9 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     concurrencies: Sequence[int] = FIG6_CONCURRENCY,
     schedulers: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> ComparisonResult:
-    """Run the Fig. 6 sweep."""
+    """Run the Fig. 6 sweep (``jobs > 1`` fans cells across processes)."""
     return run_grid(
-        "Figure 6: memcached", points(concurrencies), cfg, schedulers
+        "Figure 6: memcached", points(concurrencies), cfg, schedulers, jobs=jobs
     )

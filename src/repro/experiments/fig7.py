@@ -11,6 +11,8 @@ redis's dominant degradation factor; BRM lands near Credit.
 
 from __future__ import annotations
 
+from functools import partial
+
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -65,7 +67,7 @@ def points(connections: Sequence[int] = FIG7_CONNECTIONS) -> list[WorkloadPoint]
     """Workload points for the Fig. 7 sweep."""
     return [
         WorkloadPoint(
-            f"n={conn}", lambda p, c, cc=conn: redis_scenario(cc, p, c)
+            f"n={conn}", partial(redis_scenario, conn)
         )
         for conn in connections
     ]
@@ -75,7 +77,10 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     connections: Sequence[int] = FIG7_CONNECTIONS,
     schedulers: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> Fig7Result:
-    """Run the Fig. 7 sweep."""
-    grid = run_grid("Figure 7: redis", points(connections), cfg, schedulers)
+    """Run the Fig. 7 sweep (``jobs > 1`` fans cells across processes)."""
+    grid = run_grid(
+        "Figure 7: redis", points(connections), cfg, schedulers, jobs=jobs
+    )
     return Fig7Result(grid=grid)

@@ -1,10 +1,13 @@
 """Regenerate every table and figure in one command.
 
-``python -m repro.experiments.report_all [outdir] [--fast]`` runs the
-whole evaluation (Figs. 1, 3-8 and Table III plus the ablations) and
-writes each rendered table to ``outdir`` (default ``./results``).
-``--fast`` uses very small scales for a minutes-long smoke pass; the
-default scales match the benchmark harness.
+``python -m repro.experiments.report_all [outdir] [--fast] [--jobs N]``
+runs the whole evaluation (Figs. 1, 3-8 and Table III plus the
+ablations) and writes each rendered table to ``outdir`` (default
+``./results``).  ``--fast`` uses very small scales for a minutes-long
+smoke pass; the default scales match the benchmark harness.
+``--jobs N`` fans each comparison grid's cells across N worker
+processes (results are identical — every cell reruns the same seeded
+scenario).
 
 This is the scripted equivalent of
 ``pytest benchmarks/ --benchmark-only`` without the timing machinery —
@@ -34,25 +37,25 @@ from repro.experiments import (
 __all__ = ["regenerate_all", "main"]
 
 
-def _jobs(fast: bool) -> Tuple[Tuple[str, Callable[[], str]], ...]:
+def _jobs(fast: bool, jobs: int = 1) -> Tuple[Tuple[str, Callable[[], str]], ...]:
     scale = 0.05 if fast else 0.18
     svc_scale = 0.04 if fast else 0.1
     cfg = lambda ws, seed: ScenarioConfig(work_scale=ws, seed=seed)
     return (
         ("fig1_remote_ratios", lambda: fig1.run(cfg(scale * 0.8, 0)).format()),
         ("fig3_llc_missrate_rpti", lambda: fig3.run(cfg(0.05, 0)).format()),
-        ("fig4_spec_cpu2006", lambda: fig4.run(cfg(scale, 1)).format()),
-        ("fig5_npb", lambda: fig5.run(cfg(scale, 2)).format()),
+        ("fig4_spec_cpu2006", lambda: fig4.run(cfg(scale, 1), jobs=jobs).format()),
+        ("fig5_npb", lambda: fig5.run(cfg(scale, 2), jobs=jobs).format()),
         (
             "fig6_memcached",
             lambda: fig6.run(
-                cfg(svc_scale, 3), concurrencies=(16, 48, 80, 112)
+                cfg(svc_scale, 3), concurrencies=(16, 48, 80, 112), jobs=jobs
             ).format(),
         ),
         (
             "fig7_redis",
             lambda: fig7.run(
-                cfg(scale, 4), connections=(2000, 6000, 10000)
+                cfg(scale, 4), connections=(2000, 6000, 10000), jobs=jobs
             ).format(),
         ),
         ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0)).format()),
@@ -72,14 +75,16 @@ def regenerate_all(
     outdir: pathlib.Path,
     fast: bool = False,
     only: "tuple[str, ...] | None" = None,
+    jobs: int = 1,
 ) -> None:
     """Run every experiment and write one .txt per table/figure.
 
     ``only`` optionally restricts to jobs whose name starts with one of
-    the given prefixes (used by smoke tests).
+    the given prefixes (used by smoke tests).  ``jobs > 1`` fans each
+    comparison grid's cells across worker processes.
     """
     outdir.mkdir(parents=True, exist_ok=True)
-    for name, job in _jobs(fast):
+    for name, job in _jobs(fast, jobs):
         if only is not None and not any(name.startswith(p) for p in only):
             continue
         start = time.perf_counter()
@@ -97,8 +102,13 @@ def main(argv: list[str] | None = None) -> int:
     fast = "--fast" in args
     if fast:
         args.remove("--fast")
+    jobs = 1
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        jobs = int(args[at + 1])
+        del args[at : at + 2]
     outdir = pathlib.Path(args[0]) if args else pathlib.Path("results")
-    regenerate_all(outdir, fast=fast)
+    regenerate_all(outdir, fast=fast, jobs=jobs)
     print(f"all tables written to {outdir}/")
     return 0
 

@@ -22,7 +22,14 @@ from repro.metrics.collectors import RunSummary, summarize
 from repro.xen.credit import SchedulerPolicy
 from repro.xen.simulator import Machine
 
-__all__ = ["ScenarioBuilder", "run_one", "compare", "compare_mean", "MeanStats"]
+__all__ = [
+    "ScenarioBuilder",
+    "run_one",
+    "compare",
+    "compare_mean",
+    "aggregate_mean_stats",
+    "MeanStats",
+]
 
 #: A scenario builder: (policy, config) -> ready-to-run machine.
 ScenarioBuilder = Callable[[SchedulerPolicy, ScenarioConfig], Machine]
@@ -90,12 +97,35 @@ def compare_mean(
     if not seeds:
         raise ValueError("at least one seed required")
     names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
-    runtimes: Dict[str, List[float]] = {n: [] for n in names}
-    remotes: Dict[str, List[float]] = {n: [] for n in names}
+    summaries: List[RunSummary] = []
     for seed in seeds:
         seeded = dataclasses.replace(cfg, seed=seed)
-        for name, summary in compare(builder, seeded, names).items():
-            stats = summary.domain(domain)
+        results = compare(builder, seeded, names)
+        summaries.extend(results[name] for name in names)
+    return aggregate_mean_stats(names, seeds, summaries, domain)
+
+
+def aggregate_mean_stats(
+    names: Sequence[str],
+    seeds: Sequence[int],
+    summaries: Sequence[RunSummary],
+    domain: str = "vm1",
+) -> Dict[str, MeanStats]:
+    """Fold flat run summaries into per-scheduler :class:`MeanStats`.
+
+    ``summaries`` must be in seed-major, scheduler-minor order — the
+    order both the serial nested loop and the parallel fan-out produce.
+    """
+    if len(summaries) != len(seeds) * len(names):
+        raise ValueError(
+            f"expected {len(seeds) * len(names)} summaries, got {len(summaries)}"
+        )
+    runtimes: Dict[str, List[float]] = {n: [] for n in names}
+    remotes: Dict[str, List[float]] = {n: [] for n in names}
+    it = iter(summaries)
+    for _seed in seeds:
+        for name in names:
+            stats = next(it).domain(domain)
             runtimes[name].append(stats.mean_finish_time_s or float("nan"))
             remotes[name].append(stats.remote_ratio)
     return {

@@ -85,6 +85,8 @@ class ScenarioConfig:
         Keep the structured event log.
     latency:
         Memory latency model override.
+    engine:
+        Simulator engine: ``"vector"`` (default) or ``"reference"``.
     """
 
     work_scale: float = 0.10
@@ -94,6 +96,7 @@ class ScenarioConfig:
     epoch_s: float = 1e-3
     log_events: bool = False
     latency: LatencySpec = field(default_factory=LatencySpec)
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         check_positive(self.work_scale, "work_scale")
@@ -108,6 +111,7 @@ class ScenarioConfig:
             seed=self.seed,
             latency=self.latency,
             log_events=self.log_events,
+            engine=self.engine,
         )
 
 

@@ -13,6 +13,8 @@ tracks both the magnitude (well under 0.1 %) and that shape.
 
 from __future__ import annotations
 
+from functools import partial
+
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -70,7 +72,7 @@ def run(
     pcts = []
     breakdowns = []
     for n in vm_counts:
-        builder = lambda p, c, nn=n: overhead_scenario(nn, p, c)
+        builder = partial(overhead_scenario, n)
         summary = run_one(builder, scheduler, config)
         stats = summary.machine_stats
         pcts.append(stats.overhead_fraction * 100.0)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import AbstractSet, Dict, List, Mapping, Sequence, Tuple
 
 from repro.util.validation import check_fraction, check_non_negative, check_positive
 
@@ -81,7 +81,12 @@ class CacheDemand:
     def miss_rate(self, resident_fraction: float) -> float:
         """Miss rate given the fraction of the working set resident."""
         f = min(1.0, max(0.0, resident_fraction))
-        missing = (1.0 - f) ** self.curve_shape
+        if self.curve_shape == 1.0:
+            # pow(x, 1.0) == x exactly (IEEE 754), so the linear curve
+            # can skip the libm call the hot loop pays for every ref.
+            missing = 1.0 - f
+        else:
+            missing = (1.0 - f) ** self.curve_shape
         return self.min_miss_rate + (self.max_miss_rate - self.min_miss_rate) * missing
 
 
@@ -190,10 +195,23 @@ class LLCState:
 
     def __init__(self) -> None:
         self._warmth: Dict[int, float] = {}
+        # Decay factor memo for the fixed-dt fast path (advance_compact):
+        # exp(-dt / DECAY_TIME) is invariant while dt is.
+        self._decay_dt: float | None = None
+        self._decay_factor: float = 1.0
 
     def warmth(self, vcpu_key: int) -> float:
         """Current warmth of ``vcpu_key`` on this LLC (0 if never ran)."""
         return self._warmth.get(vcpu_key, 0.0)
+
+    @property
+    def warmth_table(self) -> Mapping[int, float]:
+        """Live view of the warmth table, for hot-path readers.
+
+        The returned mapping is the state's own table (not a copy) and
+        stays valid across :meth:`advance` calls; treat it as read-only.
+        """
+        return self._warmth
 
     def advance(
         self,
@@ -228,6 +246,44 @@ class LLCState:
             current = self._warmth.get(key, 0.0)
             # Exponential charge toward 1 with time constant tau.
             self._warmth[key] = 1.0 - (1.0 - current) * math.exp(-dt / tau)
+
+    def advance_compact(
+        self,
+        dt: float,
+        keys: Sequence[int],
+        charge_factors: Sequence[float],
+        key_set: AbstractSet[int] | None = None,
+    ) -> None:
+        """Validation-free :meth:`advance` with precomputed charge factors.
+
+        ``charge_factors[i]`` must equal
+        ``exp(-dt / max(1e-4, working_set_bytes[i] / FILL_BANDWIDTH))``
+        for the VCPU ``keys[i]`` that ran here during the epoch — the
+        caller caches that per VCPU and refreshes it on phase change.
+        ``key_set``, when given, must be ``set(keys)`` (callers with a
+        stable running set pass a cached one).  Produces bitwise-
+        identical warmth to :meth:`advance`.
+        """
+        if dt != self._decay_dt:
+            self._decay_dt = dt
+            self._decay_factor = math.exp(-dt / self.DECAY_TIME) if dt > 0 else 1.0
+        decay = self._decay_factor
+        warmth = self._warmth
+        running = set(keys) if key_set is None else key_set
+        stale: List[int] = []
+        for key, w in warmth.items():
+            if key in running:
+                continue
+            w *= decay
+            if w < self._EPSILON:
+                stale.append(key)
+            else:
+                warmth[key] = w
+        for key in stale:
+            del warmth[key]
+        for key, charge in zip(keys, charge_factors):
+            current = warmth.get(key, 0.0)
+            warmth[key] = 1.0 - (1.0 - current) * charge
 
     def evict(self, vcpu_key: int) -> None:
         """Forget a VCPU entirely (domain destroyed)."""
@@ -290,7 +346,68 @@ class CacheModel:
             pressure=pressure,
         )
 
+    def occupancy_shares(self, demands: Sequence[CacheDemand]) -> List[float]:
+        """Waterfilled LLC allocations for a co-runner set.
+
+        The allocations depend only on capacity and the demands — not on
+        warmth — so callers with a stable co-runner set can compute them
+        once and feed :meth:`miss_rates_from_shares` every epoch.
+        """
+        weights = []
+        caps = []
+        for d in demands:
+            weights.append(d.intensity * max(d.working_set_bytes, 1.0))
+            caps.append(d.working_set_bytes)
+        return waterfill_shares(self.capacity_bytes, weights, caps)
+
+    def miss_rates_from_shares(
+        self,
+        keys: Sequence[int],
+        demands: Sequence[CacheDemand],
+        allocs: Sequence[float],
+    ) -> List[float]:
+        """Per-VCPU miss rates given precomputed waterfill allocations.
+
+        The per-epoch half of :meth:`solve_compact`: applies the current
+        warmth to the cached allocations and evaluates each demand's
+        miss-rate curve, in key order.
+        """
+        warmth = self.state.warmth
+        rates: List[float] = []
+        for key, d, alloc in zip(keys, demands, allocs):
+            ws = d.working_set_bytes
+            if ws <= 0:
+                frac = 1.0
+            else:
+                frac = min(1.0, alloc / ws) * warmth(key)
+            rates.append(d.miss_rate(frac))
+        return rates
+
+    def solve_compact(
+        self,
+        keys: Sequence[int],
+        demands: Sequence[CacheDemand],
+    ) -> List[float]:
+        """Array-style :meth:`solve`: miss rates only, no result dicts.
+
+        ``keys`` must be sorted ascending (the order :meth:`solve`
+        iterates) with ``demands`` aligned.  Returns one miss rate per
+        key, bitwise-identical to ``solve(...).miss_rates``.
+        """
+        allocs = self.occupancy_shares(demands)
+        return self.miss_rates_from_shares(keys, demands, allocs)
+
     def advance(self, dt: float, demands: Mapping[int, CacheDemand]) -> None:
         """Advance warmth after an epoch in which ``demands`` ran here."""
         running = {k: d.working_set_bytes for k, d in demands.items()}
         self.state.advance(dt, running)
+
+    def advance_compact(
+        self,
+        dt: float,
+        keys: Sequence[int],
+        charge_factors: Sequence[float],
+        key_set: AbstractSet[int] | None = None,
+    ) -> None:
+        """Fast-path :meth:`advance`; see :meth:`LLCState.advance_compact`."""
+        self.state.advance_compact(dt, keys, charge_factors, key_set)

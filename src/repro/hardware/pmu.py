@@ -16,7 +16,7 @@ overhead accounting of Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -116,17 +116,52 @@ class PMU:
         self._counters: Dict[int, VcpuCounters] = {}
         self._window_base: Dict[int, VcpuCounters] = {}
         self._collection_events = 0
+        # Structure-of-arrays storage for the per-node access counters:
+        # each registered bank's ``node_accesses`` is a row view into
+        # this matrix, so the per-epoch batch charge lands with a single
+        # fancy-indexed add instead of one ndarray add per bank.
+        self._row_of: Dict[int, int] = {}
+        self._node_matrix = np.zeros((0, num_nodes))
 
     def register(self, vcpu_key: int) -> None:
         """Create counter banks for a VCPU (idempotent)."""
-        if vcpu_key not in self._counters:
-            self._counters[vcpu_key] = VcpuCounters(self.num_nodes)
-            self._window_base[vcpu_key] = VcpuCounters(self.num_nodes)
+        if vcpu_key in self._counters:
+            return
+        row = self._row_of.get(vcpu_key)
+        if row is None:
+            row = len(self._row_of)
+            self._row_of[vcpu_key] = row
+            if row >= self._node_matrix.shape[0]:
+                grown = np.zeros(
+                    (max(8, 2 * self._node_matrix.shape[0]), self.num_nodes)
+                )
+                grown[: self._node_matrix.shape[0]] = self._node_matrix
+                self._node_matrix = grown
+                # Rebind live banks onto the reallocated matrix.
+                for key, bank in self._counters.items():
+                    bank.node_accesses = self._node_matrix[self._row_of[key]]
+        bank = VcpuCounters(self.num_nodes)
+        self._node_matrix[row] = 0.0
+        bank.node_accesses = self._node_matrix[row]
+        self._counters[vcpu_key] = bank
+        self._window_base[vcpu_key] = VcpuCounters(self.num_nodes)
 
     def unregister(self, vcpu_key: int) -> None:
-        """Drop a VCPU's banks (domain destroyed)."""
+        """Drop a VCPU's banks (domain destroyed).
+
+        The VCPU's matrix row stays reserved and is recycled if the key
+        ever re-registers.
+        """
         self._counters.pop(vcpu_key, None)
         self._window_base.pop(vcpu_key, None)
+
+    def rows_for(self, keys: Sequence[int]) -> np.ndarray:
+        """Matrix row indices for ``keys`` (cacheable by batch chargers).
+
+        Valid until any of the keys is unregistered; rows survive
+        matrix growth from later registrations.
+        """
+        return np.array([self._row_of[key] for key in keys])
 
     def known(self) -> Tuple[int, ...]:
         """Registered VCPU keys (sorted)."""
@@ -180,6 +215,60 @@ class PMU:
         local = float(accesses[run_node])
         bank.local_accesses += local
         bank.remote_accesses += float(accesses.sum()) - local
+
+    def charge_epoch(
+        self,
+        keys: Sequence[int],
+        instructions: Sequence[float],
+        llc_refs: Sequence[float],
+        llc_misses: Sequence[float],
+        accesses: "np.ndarray | Sequence[Sequence[float]]",
+        run_nodes: Sequence[int],
+        rows: "np.ndarray | None" = None,
+    ) -> None:
+        """Batched, validation-free :meth:`charge` for one epoch.
+
+        Positional arrays over the k VCPUs that ran: ``accesses`` has
+        shape ``(k, num_nodes)`` — an ndarray or a nested list — and
+        already equals ``llc_misses[i] * node_access_share[i]`` rowwise;
+        the caller computes it elementwise, which is bitwise-identical
+        to the scalar path.  ``rows``, when given, must be
+        ``rows_for(keys)`` (callers with a stable running set cache
+        it).  Bank accumulation order matches per-VCPU charges.
+        """
+        if rows is None:
+            row_of = self._row_of
+            rows = np.array([row_of[key] for key in keys])
+        # One scatter-add into the SoA matrix covers every bank's
+        # node_accesses (each bank's vector is a row view); keys are
+        # distinct, so the fancy-indexed add is an elementwise add per
+        # row — the same bits as per-bank `+=`.
+        if isinstance(accesses, np.ndarray):
+            self._node_matrix[rows] += accesses
+            # Row sums and local shares as Python floats: numpy reduces
+            # a contiguous row with the same routine whether summed
+            # alone or along axis 1, so these equal float(row[n]) /
+            # float(row.sum()) bit for bit.
+            acc_rows = accesses.tolist()
+            row_sums = accesses.sum(axis=1).tolist()
+        else:
+            acc_rows = accesses
+            self._node_matrix[rows] += np.asarray(acc_rows)
+            if self.num_nodes == 2:
+                # A two-element numpy reduction is a single sequential
+                # add — the same bits as the scalar sum.
+                row_sums = [row[0] + row[1] for row in acc_rows]
+            else:
+                row_sums = np.asarray(acc_rows).sum(axis=1).tolist()
+        counters = self._counters
+        for i, key in enumerate(keys):
+            bank = counters[key]
+            bank.instructions += instructions[i]
+            bank.llc_refs += llc_refs[i]
+            bank.llc_misses += llc_misses[i]
+            local = acc_rows[i][run_nodes[i]]
+            bank.local_accesses += local
+            bank.remote_accesses += row_sums[i] - local
 
     # ------------------------------------------------------------------
     # Reading (called by schedulers; costs hypervisor time)

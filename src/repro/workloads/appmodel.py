@@ -238,6 +238,11 @@ class VcpuWorkload:
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
+    @property
+    def next_phase_change(self) -> float:
+        """Absolute time the next phase change is due (``inf`` if none)."""
+        return self._next_phase_change
+
     def _draw_phase_end(self, now: float) -> float:
         spec = self.profile.phase
         if spec is None:

@@ -1,0 +1,609 @@
+"""Structure-of-arrays fast path for the epoch engine.
+
+The reference implementation in :mod:`repro.xen.simulator` prices every
+epoch through per-VCPU dictionaries (demands, rates, traffic, penalties,
+page mixes) and rescans all VCPUs for wakeups, phase changes and finite
+completion.  That is the clearest possible statement of the model — and
+the hot path of every experiment, so :class:`VectorEngine` re-implements
+it with flat arrays keyed by VCPU index, cached invariants and event
+heaps.
+
+**The contract is bitwise equality**: for any scenario and seed, a run
+through the vector engine produces exactly the same simulated results
+(finish times, counter values, migration counts, overhead) as the
+reference loop.  Four rules keep that true:
+
+* elementwise float64 arithmetic (``+ - * /``) produces identical bits
+  whether it runs through numpy ufuncs or Python scalars, so each
+  per-VCPU expression may use whichever is faster at the machine's
+  scale — but *reductions* may not be reordered: every ordered
+  accumulation (IMC/QPI traffic, per-miss penalties, busy time) stays
+  a sequential loop in exactly the reference's order;
+* every cached invariant (``refs_per_instruction * intensity_multiplier``,
+  the memoised :class:`CacheDemand`, the LLC warmth charge factor, the
+  first-touch drift per epoch, the waterfilled LLC shares) depends only
+  on the profile, the phase multipliers and the co-runner set, so it is
+  invalidated precisely when :meth:`VcpuWorkload.maybe_phase_change`
+  fires (a generation counter) or the running set changes;
+* heap-driven wake and phase processing replays due events in VCPU-key
+  order — the order the reference scans ``machine.vcpus`` — because
+  wake handling mutates shared queue and RNG state;
+* state *transitions* (done/block, context-switch hooks, overhead
+  charges) happen in the reference's per-VCPU order even though the
+  arithmetic before them is batched.
+
+The engine holds only *derived* state; all simulation state lives in
+the machine's VCPUs, workloads and hardware models.  Rebuilding the
+engine from a live machine (``Machine.add_domain`` invalidates it) is
+therefore lossless.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.hardware.cache import CacheDemand, LLCState
+from repro.hardware.memory import BYTES_PER_MISS
+from repro.xen.vcpu import Vcpu, VcpuState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xen.simulator import Machine
+
+__all__ = ["VectorEngine"]
+
+
+class _Gather:
+    """Per-running-set arrays, valid while the set and phases hold.
+
+    A VCPU→PCPU assignment typically survives a whole 30 ms slice
+    (dozens of epochs), so everything derivable from *which* VCPUs run
+    *where* — profile constants, per-node co-runner groups, waterfilled
+    LLC shares, page-mix gather indices — is built once per assignment
+    and reused until the assignment or a phase generation changes.
+    """
+
+    __slots__ = (
+        "keys",
+        "node_of",
+        "rpi",
+        "cpi_base",
+        "mlp",
+        "clock",
+        "ns2c",
+        "drift",
+        "totals",
+        "conc_col",
+        "anti_conc_col",
+        "conc_l",
+        "anti_l",
+        "mix_row_src",
+        "mix_over_src",
+        "pmu_rows",
+        "node_members",
+        "node_member_sets",
+        "node_charge",
+        "node_positions",
+        "node_solve",
+        "mix_groups",
+    )
+
+    def __init__(self, engine: "VectorEngine", pcpus, vcpus, k: int) -> None:
+        keys = [v.key for v in vcpus]
+        node_of = [p.node for p in pcpus]
+        self.keys = keys
+        self.node_of = node_of
+        self.rpi = [engine.rpi[key] for key in keys]
+        self.cpi_base = [engine.cpi_base[key] for key in keys]
+        self.mlp = [engine.mlp[key] for key in keys]
+        self.clock = [engine.node_clock[n] for n in node_of]
+        self.ns2c = [engine.node_ns2c[n] for n in node_of]
+        self.drift = [engine.drift_amount[key] for key in keys]
+        self.totals = [
+            v.workload.profile.total_instructions for v in vcpus
+        ]
+
+        # Sub-memoised pieces: many distinct global signatures (the
+        # per-PCPU queue rotations multiply) share the same per-node
+        # co-runner sets, concentration columns, page-mix groups and
+        # PMU rows, so those live in engine-level caches.
+        keys_t = tuple(keys)
+        cols = engine._conc_cache.get(keys_t)
+        if cols is None:
+            conc_l = [engine.conc[key] for key in keys]
+            conc = np.array(conc_l)
+            # (1.0 - concentration), elementwise — identical bits to
+            # the scalar subtraction in MemoryPlacement.page_mix.
+            cols = (
+                conc[:, None],
+                (1.0 - conc)[:, None],
+                conc_l,
+                [1.0 - c for c in conc_l],
+            )
+            engine._conc_cache[keys_t] = cols
+        self.conc_col, self.anti_conc_col, self.conc_l, self.anti_l = cols
+
+        rows = engine._pmu_rows_cache.get(keys_t)
+        if rows is None:
+            rows = engine.machine.pmu.rows_for(keys)
+            engine._pmu_rows_cache[keys_t] = rows
+        self.pmu_rows = rows
+
+        # Per-node co-runner groups, sorted by key (the order the
+        # reference's sorted(demands) solve iterates).  The waterfilled
+        # allocations depend only on capacity and demands — not warmth —
+        # so they are computed once per co-runner set, along with the
+        # flattened miss-rate-curve scalars the per-epoch loop reads.
+        num_nodes = len(engine.node_clock)
+        index_of = {key: i for i, key in enumerate(keys)}
+        members: List[List[int]] = [[] for _ in range(num_nodes)]
+        for i in range(k):
+            members[node_of[i]].append(keys[i])
+        for m in members:
+            m.sort()
+        self.node_members = members
+        self.node_positions = [
+            [index_of[key] for key in m] for m in members
+        ]
+        self.node_member_sets = []
+        self.node_charge = []
+        self.node_solve = []
+        caches = engine.machine.caches
+        for node in range(num_nodes):
+            m = members[node]
+            node_key = (node, tuple(m))
+            entry = engine._node_cache.get(node_key)
+            if entry is None:
+                demands = [engine.demand[key] for key in m]
+                entry = (
+                    frozenset(m),
+                    [engine.charge_factor[key] for key in m],
+                    (
+                        caches[node].occupancy_shares(demands),
+                        [d.working_set_bytes for d in demands],
+                        [d.min_miss_rate for d in demands],
+                        [d.max_miss_rate - d.min_miss_rate for d in demands],
+                        [d.curve_shape for d in demands],
+                    ),
+                )
+                engine._node_cache[node_key] = entry
+            self.node_member_sets.append(entry[0])
+            self.node_charge.append(entry[1])
+            self.node_solve.append(entry[2])
+
+        # Page-mix gather plan.  Dual-socket machines get direct
+        # references to each VCPU's placement-mirror row (stable list
+        # objects, see MemoryPlacement); other topologies group VCPUs
+        # by placement object so each group's slice rows load with one
+        # fancy index.
+        plan = engine._mix_cache.get(keys_t)
+        if plan is None:
+            if engine.two_node:
+                row_src = []
+                over_src = []
+                for vcpu in vcpus:
+                    placement = vcpu.domain.placement
+                    row_src.append(placement._rows2[vcpu.workload.slice_id])
+                    over_src.append(placement._over2)
+                plan = (None, row_src, over_src)
+            else:
+                by_placement: Dict[int, Tuple[object, List[int], List[int]]] = {}
+                for i in range(k):
+                    vcpu = vcpus[i]
+                    placement = vcpu.domain.placement
+                    group = by_placement.get(id(placement))
+                    if group is None:
+                        group = (placement, [], [])
+                        by_placement[id(placement)] = group
+                    group[1].append(vcpu.workload.slice_id)
+                    group[2].append(i)
+                groups = [
+                    (placement, np.array(slices), np.array(positions))
+                    for placement, slices, positions in by_placement.values()
+                ]
+                plan = (groups, None, None)
+            engine._mix_cache[keys_t] = plan
+        self.mix_groups, self.mix_row_src, self.mix_over_src = plan
+
+
+class VectorEngine:
+    """Vectorized epoch engine bound to one :class:`Machine`.
+
+    Built lazily on the first stepped epoch and discarded whenever the
+    machine's VCPU population changes; construction scans the live
+    machine state once, after which per-epoch work touches only the
+    VCPUs that are actually running, waking or changing phase.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.epoch = machine.config.epoch_s
+        topo = machine.topology
+        vcpus = machine.vcpus
+
+        # Per-node constants.  ``ns_to_cycles`` is precomputed exactly as
+        # the reference evaluates it (clock_hz * 1e-9).
+        self.node_clock: List[float] = [node.clock_hz for node in topo.nodes]
+        self.node_ns2c: List[float] = [c * 1e-9 for c in self.node_clock]
+        self.two_node = topo.num_nodes == 2
+
+        # Per-VCPU invariants, keyed by VCPU key.  Profile constants are
+        # immutable; the phase-dependent ones (rpi, demand, warmth
+        # charge) are refreshed by refresh_vcpu() on phase change.
+        n = len(vcpus)
+        self.cpi_base: List[float] = [v.workload.profile.cpi_base for v in vcpus]
+        self.mlp: List[float] = [v.workload.profile.mlp for v in vcpus]
+        self.conc: List[float] = [
+            v.workload.profile.slice_concentration for v in vcpus
+        ]
+        self.drift_amount: List[float] = [
+            min(1.0, v.workload.profile.touch_rate * self.epoch) for v in vcpus
+        ]
+        self.rpi: List[float] = [0.0] * n
+        self.demand: List[Optional[CacheDemand]] = [None] * n
+        self.charge_factor: List[float] = [1.0] * n
+        self._generation = 0
+        # Cached per-running-set gathers (see _Gather).  Assignments
+        # recur as queues rotate, so gathers are memoised by signature;
+        # the phase generation is part of the signature, and the cache
+        # is flushed on phase change to drop the stale entries.
+        self._gather: Optional[_Gather] = None
+        self._gather_sig: Optional[Tuple] = None
+        self._gather_cache: Dict[Tuple, _Gather] = {}
+        # Sub-memos shared across gathers.  The first two depend only on
+        # immutable profile/topology facts; the last two are phase-
+        # dependent and flushed alongside the gather cache.
+        self._conc_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        self._pmu_rows_cache: Dict[Tuple, np.ndarray] = {}
+        self._node_cache: Dict[Tuple, Tuple] = {}
+        self._mix_cache: Dict[Tuple, List] = {}
+        for vcpu in vcpus:
+            self.refresh_vcpu(vcpu)
+
+        # Live per-node warmth tables (stable dict objects) and bound
+        # per-LLC advance methods (skips the CacheModel hop per epoch).
+        self._warmth_tables = [
+            cache.state.warmth_table for cache in machine.caches
+        ]
+        self._cache_advance = [
+            cache.state.advance_compact for cache in machine.caches
+        ]
+
+        # Reusable page-mix gather buffers, sliced to the running count.
+        num_pcpus = len(machine.pcpus)
+        num_nodes = len(self.node_clock)
+        self._rows_buf = np.empty((num_pcpus, num_nodes))
+        self._over_buf = np.empty((num_pcpus, num_nodes))
+
+        # Wake-time min-heap replacing the all-VCPU step-2 scan.  Lazy
+        # invalidation: entries are validated against live VCPU state at
+        # pop time.  Every BLOCKED-with-finite-wake VCPU has an entry.
+        self.wake_heap: List[Tuple[float, int]] = [
+            (v.wake_time, v.key)
+            for v in vcpus
+            if v.state is VcpuState.BLOCKED and math.isfinite(v.wake_time)
+        ]
+        heapq.heapify(self.wake_heap)
+
+        # Phase-change min-heap replacing the per-epoch phase scan.
+        self.phase_heap: List[Tuple[float, int]] = [
+            (v.workload.next_phase_change, v.key)
+            for v in vcpus
+            if v.workload.active
+            and not v.workload.done
+            and v.workload.profile.phase is not None
+            and math.isfinite(v.workload.next_phase_change)
+        ]
+        heapq.heapify(self.phase_heap)
+
+        # Finite-work countdown replacing the _all_finite_done rescan.
+        finite = [
+            w
+            for d in machine.domains
+            for w in d.workloads
+            if w.active and w.profile.is_finite
+        ]
+        self.has_finite = bool(finite)
+        self.finite_remaining = sum(1 for w in finite if not w.done)
+
+    # ------------------------------------------------------------------
+    # Invariant maintenance
+    # ------------------------------------------------------------------
+    def refresh_vcpu(self, vcpu: Vcpu) -> None:
+        """Recompute phase-dependent invariants after a phase change."""
+        w = vcpu.workload
+        key = vcpu.key
+        self.rpi[key] = w.profile.refs_per_instruction * w.intensity_multiplier
+        demand = w.cache_demand()
+        self.demand[key] = demand
+        tau = max(1e-4, demand.working_set_bytes / LLCState.FILL_BANDWIDTH)
+        self.charge_factor[key] = math.exp(-self.epoch / tau)
+        self._generation += 1
+        self._gather_cache.clear()
+        self._node_cache.clear()
+        self._mix_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Event-driven scans
+    # ------------------------------------------------------------------
+    def pop_due_wakes(self, now: float) -> List[Vcpu]:
+        """Due wakeups, in VCPU-key order (the reference scan order)."""
+        heap = self.wake_heap
+        if not heap or heap[0][0] > now:
+            return []
+        vcpus = self.machine.vcpus
+        due: List[Vcpu] = []
+        seen: Set[int] = set()
+        while heap and heap[0][0] <= now:
+            _, key = heapq.heappop(heap)
+            vcpu = vcpus[key]
+            if (
+                key not in seen
+                and vcpu.state is VcpuState.BLOCKED
+                and vcpu.wake_time <= now
+            ):
+                seen.add(key)
+                due.append(vcpu)
+        due.sort(key=lambda v: v.key)
+        return due
+
+    def push_wake(self, vcpu: Vcpu) -> None:
+        """Track a VCPU that just blocked with a finite wake time."""
+        if math.isfinite(vcpu.wake_time):
+            heapq.heappush(self.wake_heap, (vcpu.wake_time, vcpu.key))
+
+    def apply_phase_changes(self, end: float) -> None:
+        """Apply all phase changes due by ``end``, in VCPU-key order."""
+        heap = self.phase_heap
+        if not heap or heap[0][0] > end:
+            return
+        machine = self.machine
+        vcpus = machine.vcpus
+        due: Set[int] = set()
+        while heap and heap[0][0] <= end:
+            _, key = heapq.heappop(heap)
+            w = vcpus[key].workload
+            # A finished or stale entry is simply dropped; live entries
+            # always carry the workload's current next_phase_change.
+            if w.active and not w.done and w.next_phase_change <= end:
+                due.add(key)
+        for key in sorted(due):
+            vcpu = vcpus[key]
+            w = vcpu.workload
+            if w.maybe_phase_change(end):
+                machine.log.emit(
+                    end, "phase_change", vcpu=vcpu.name, slice=w.slice_id
+                )
+                self.refresh_vcpu(vcpu)
+                nxt = w.next_phase_change
+                if math.isfinite(nxt):
+                    heapq.heappush(heap, (nxt, key))
+
+    def all_finite_done(self) -> bool:
+        """Countdown equivalent of ``Machine._all_finite_done``."""
+        return self.has_finite and self.finite_remaining == 0
+
+    # ------------------------------------------------------------------
+    # Contention + progress (the vectorized _advance_running)
+    # ------------------------------------------------------------------
+    def advance_running(self, now: float, epoch: float) -> None:
+        machine = self.machine
+
+        running_pcpus = []
+        running_vcpus = []
+        sig_keys = []
+        sig_pids = []
+        for pcpu in machine.pcpus:
+            cur = pcpu.current
+            if cur is not None:
+                running_pcpus.append(pcpu)
+                running_vcpus.append(cur)
+                sig_keys.append(cur.key)
+                sig_pids.append(pcpu.pcpu_id)
+        k = len(running_vcpus)
+        if k == 0:
+            # Nothing ran: warmth still decays on every LLC.
+            for advance in self._cache_advance:
+                advance(epoch, (), ())
+            return
+
+        # Look up (or build) the per-assignment gather.
+        sig = (self._generation, tuple(sig_keys), tuple(sig_pids))
+        if sig != self._gather_sig:
+            cache = self._gather_cache
+            gather = cache.get(sig)
+            if gather is None:
+                gather = _Gather(self, running_pcpus, running_vcpus, k)
+                if len(cache) >= 1024:
+                    cache.clear()
+                cache[sig] = gather
+            self._gather = gather
+            self._gather_sig = sig
+        else:
+            gather = self._gather
+
+        # Per-LLC miss rates from the cached waterfill shares and the
+        # current warmth (the only per-epoch input).  This is
+        # CacheModel.miss_rates_from_shares unrolled over the gather's
+        # flattened curve scalars — the op sequence per VCPU is exactly
+        # CacheDemand.miss_rate's.
+        miss = [0.0] * k
+        for node_id, members in enumerate(gather.node_members):
+            if not members:
+                continue
+            warmth = self._warmth_tables[node_id]
+            positions = gather.node_positions[node_id]
+            allocs, ws_l, minmr_l, span_l, shape_l = gather.node_solve[node_id]
+            for j in range(len(members)):
+                ws = ws_l[j]
+                if ws <= 0:
+                    f = 1.0
+                else:
+                    # In [0, 1] by construction (warmth and the capped
+                    # share both are), so miss_rate's clamp is a no-op.
+                    f = min(1.0, allocs[j] / ws) * warmth.get(members[j], 0.0)
+                shape = shape_l[j]
+                missing = 1.0 - f if shape == 1.0 else (1.0 - f) ** shape
+                miss[positions[j]] = minmr_l[j] + span_l[j] * missing
+
+        # Page mixes: each row is the reference's Domain.page_mix_for
+        # (concentration blend, then row-normalise).
+        mix = None
+        if gather.mix_row_src is not None:
+            # Dual-socket: scalar blend straight off the placement
+            # mirrors — the same elementwise ops as the ufunc path,
+            # without touching the (lazily synced) ndarrays.
+            conc_l = gather.conc_l
+            anti_l = gather.anti_l
+            row_src = gather.mix_row_src
+            over_src = gather.mix_over_src
+            mix_rows = [None] * k
+            for i in range(k):
+                c = conc_l[i]
+                a = anti_l[i]
+                row = row_src[i]
+                over = over_src[i]
+                m0 = c * row[0] + a * over[0]
+                m1 = c * row[1] + a * over[1]
+                s = m0 + m1
+                mix_rows[i] = [m0 / s, m1 / s]
+        else:
+            rows = self._rows_buf[:k]
+            over = self._over_buf[:k]
+            for placement, slices, positions in gather.mix_groups:
+                rows[positions] = placement.matrix[slices]
+                over[positions] = placement.overall
+            mix = gather.conc_col * rows + gather.anti_conc_col * over
+            mix /= mix.sum(axis=1)[:, None]
+            mix_rows = mix.tolist()
+
+        # Fixed point: rates -> traffic -> queueing -> rates.  Scalar
+        # float64 expressions in the reference's exact op order; at the
+        # machine's scale (co-runners == PCPUs) this beats ufunc
+        # dispatch while producing identical bits.
+        lat = machine.config.latency
+        hit_ns = lat.llc_hit_ns
+        node_of = gather.node_of
+        rpi = gather.rpi
+        cpi_base = gather.cpi_base
+        mlp = gather.mlp
+        clock = gather.clock
+        ns2c = gather.ns2c
+        penalty = [lat.local_dram_ns] * k
+        rates = [0.0] * k
+        traffic = [0.0] * k
+        for _ in range(machine.config.contention_iterations - 1):
+            for i in range(k):
+                mr = miss[i]
+                per_ref_ns = (1.0 - mr) * hit_ns + mr * penalty[i]
+                stall = rpi[i] * per_ref_ns * ns2c[i] / mlp[i]
+                rate = clock[i] / (cpi_base[i] + stall)
+                rates[i] = rate
+                traffic[i] = rate * rpi[i] * mr * BYTES_PER_MISS
+            penalty = machine.memsys.solve_compact(traffic, node_of, mix_rows)
+        # Last iteration: the reference recomputes rates and then makes
+        # one more (pure, side-effect-free) solve call whose result it
+        # discards — so only the rates are computed here.
+        for i in range(k):
+            mr = miss[i]
+            per_ref_ns = (1.0 - mr) * hit_ns + mr * penalty[i]
+            stall = rpi[i] * per_ref_ns * ns2c[i] / mlp[i]
+            rates[i] = clock[i] / (cpi_base[i] + stall)
+
+        # Progress pass 1: instruction budgets in PCPU order (overhead
+        # consumption and busy-time accumulation are ordered effects).
+        totals = gather.totals
+        instructions = [0.0] * k
+        refs = [0.0] * k
+        misses = [0.0] * k
+        for i in range(k):
+            pcpu = running_pcpus[i]
+            # Inlined Pcpu.consume_overhead with an overhead-free fast
+            # path (identical arithmetic when overhead is pending).
+            pending = pcpu.overhead_pending_s
+            if pending > 0.0:
+                used = pending if pending < epoch else epoch
+                pcpu.overhead_pending_s = pending - used
+                compute = epoch - used
+            else:
+                compute = epoch
+            pcpu.busy_time_s += epoch
+            machine.busy_time_s += epoch
+            done = rates[i] * compute
+            total = totals[i]
+            if total is not None:
+                remaining = total - running_vcpus[i].workload.instructions_done
+                if remaining < 0.0:
+                    remaining = 0.0
+                if remaining < done:
+                    done = remaining
+            instructions[i] = done
+            r = done * rpi[i]
+            refs[i] = r
+            misses[i] = r * miss[i]
+
+        # PMU charges, batched: the access matrix is elementwise
+        # (misses x page mix), the per-bank accumulation stays ordered.
+        if mix is None:
+            accesses = [
+                [misses[i] * mix_rows[i][0], misses[i] * mix_rows[i][1]]
+                for i in range(k)
+            ]
+        else:
+            accesses = np.array(misses)[:, None] * mix
+        machine.pmu.charge_epoch(
+            gather.keys,
+            instructions,
+            refs,
+            misses,
+            accesses,
+            node_of,
+            rows=gather.pmu_rows,
+        )
+
+        # Progress pass 2: retire work, drift placement, handle
+        # completion and blocking (same order, same transitions).
+        end = now + epoch
+        policy = machine.policy
+        log = machine.log
+        drift = gather.drift
+        for i in range(k):
+            pcpu = running_pcpus[i]
+            vcpu = running_vcpus[i]
+            w = vcpu.workload
+            w.instructions_done += instructions[i]
+            vcpu.slice_used_s += epoch
+            vcpu.run_burst_remaining_s -= epoch
+
+            if drift[i] > 0:
+                vcpu.domain.placement.drift_slice_fast(
+                    w.slice_id, pcpu.node, drift[i]
+                )
+
+            total = totals[i]
+            if total is not None and w.instructions_done >= total:
+                vcpu.mark_done(end)
+                pcpu.current = None
+                machine.context_switches += 1
+                policy.on_context_switch(pcpu, vcpu, None)
+                log.emit(end, "finish", vcpu=vcpu.name)
+                self.finite_remaining -= 1
+            elif vcpu.run_burst_remaining_s <= 0:
+                vcpu.block_until(end + w.draw_block_time())
+                self.push_wake(vcpu)
+                pcpu.current = None
+                machine.context_switches += 1
+                policy.on_context_switch(pcpu, vcpu, None)
+
+        # LLC warmth: charge running sets, decay everyone else, using
+        # the per-VCPU charge factors cached at phase boundaries.
+        for node_id, members in enumerate(gather.node_members):
+            self._cache_advance[node_id](
+                epoch,
+                members,
+                gather.node_charge[node_id],
+                gather.node_member_sets[node_id],
+            )

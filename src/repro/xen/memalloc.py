@@ -61,6 +61,64 @@ class MemoryPlacement:
         # Overall mix is read every epoch (page_mix); maintain it
         # incrementally instead of re-averaging the matrix each call.
         self._overall = self._matrix.mean(axis=0)
+        # Dual-socket hot-path mirror: plain Python lists shadowing the
+        # matrix rows and overall mix.  First-touch drift (the per-epoch
+        # mutation) updates only the mirror; the ndarrays are synced
+        # lazily when an array reader shows up.  The list *objects* are
+        # stable for the placement's lifetime, so hot-path callers may
+        # cache row references.
+        if self._matrix.shape[1] == 2:
+            self._rows2: "list[list[float]] | None" = self._matrix.tolist()
+            self._over2: "list[float] | None" = self._overall.tolist()
+        else:
+            self._rows2 = None
+            self._over2 = None
+        self._np_stale = False
+
+    def _sync_np(self) -> None:
+        """Write pending mirror updates back into the ndarrays."""
+        if not self._np_stale:
+            return
+        matrix = self._matrix
+        for i, row in enumerate(self._rows2):
+            matrix[i, 0] = row[0]
+            matrix[i, 1] = row[1]
+        self._overall[0] = self._over2[0]
+        self._overall[1] = self._over2[1]
+        self._np_stale = False
+
+    def _refresh_mirror(self) -> None:
+        """Reload the mirror from the ndarrays after an array-side write.
+
+        Updates the existing list objects in place so cached row
+        references stay valid.
+        """
+        if self._rows2 is None:
+            return
+        vals = self._matrix.tolist()
+        for row, src in zip(self._rows2, vals):
+            row[0] = src[0]
+            row[1] = src[1]
+        self._over2[0] = float(self._overall[0])
+        self._over2[1] = float(self._overall[1])
+        self._np_stale = False
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Raw ``(num_slices, num_nodes)`` placement matrix.
+
+        A live view for the epoch engine's batched page-mix gather —
+        treat as read-only; mutate through :meth:`drift_slice` /
+        :meth:`migrate_slice` so ``_overall`` stays consistent.
+        """
+        self._sync_np()
+        return self._matrix
+
+    @property
+    def overall(self) -> np.ndarray:
+        """Raw overall node mix (live view; treat as read-only)."""
+        self._sync_np()
+        return self._overall
 
     @property
     def num_slices(self) -> int:
@@ -75,10 +133,12 @@ class MemoryPlacement:
     def slice_mix(self, slice_id: int) -> np.ndarray:
         """Node distribution of one slice (a copy)."""
         check_index(slice_id, self.num_slices, "slice_id")
+        self._sync_np()
         return self._matrix[slice_id].copy()
 
     def overall_mix(self) -> np.ndarray:
         """Node distribution of the domain's whole memory (a copy)."""
+        self._sync_np()
         return self._overall.copy()
 
     def page_mix(self, slice_id: int, concentration: float) -> np.ndarray:
@@ -89,6 +149,7 @@ class MemoryPlacement:
         data, guest-kernel structures).
         """
         check_fraction(concentration, "concentration")
+        self._sync_np()
         mix = (
             concentration * self._matrix[slice_id]
             + (1.0 - concentration) * self._overall
@@ -99,6 +160,7 @@ class MemoryPlacement:
     def home_node(self, slice_id: int) -> int:
         """Node holding the plurality of a slice's pages."""
         check_index(slice_id, self.num_slices, "slice_id")
+        self._sync_np()
         return int(np.argmax(self._matrix[slice_id]))
 
     def drift_slice(self, slice_id: int, toward_node: int, amount: float) -> None:
@@ -119,6 +181,38 @@ class MemoryPlacement:
         check_fraction(amount, "amount")
         if amount <= 0.0:
             return
+        self.drift_slice_fast(slice_id, toward_node, amount)
+
+    def drift_slice_fast(self, slice_id: int, toward_node: int, amount: float) -> None:
+        """Validation-free :meth:`drift_slice` for the epoch hot path.
+
+        The caller guarantees ``slice_id``/``toward_node`` are in range
+        and ``0 < amount <= 1`` (the per-epoch drift is a cached
+        invariant of the workload profile).
+        """
+        rows = self._rows2
+        if rows is not None:
+            # Dual-socket fast path: the same elementwise operations on
+            # Python scalars against the list mirror; the ndarrays are
+            # synced lazily on the next array read.
+            row = rows[slice_id]
+            r0 = row[0]
+            r1 = row[1]
+            keep = 1.0 - amount
+            n0 = r0 * keep
+            n1 = r1 * keep
+            if toward_node == 0:
+                n0 = n0 + amount
+            else:
+                n1 = n1 + amount
+            row[0] = n0
+            row[1] = n1
+            num_slices = len(rows)
+            overall = self._over2
+            overall[0] += (n0 - r0) / num_slices
+            overall[1] += (n1 - r1) / num_slices
+            self._np_stale = True
+            return
         row = self._matrix[slice_id]
         before = row.copy()
         row *= 1.0 - amount
@@ -137,6 +231,7 @@ class MemoryPlacement:
         check_index(to_node, self.num_nodes, "to_node")
         check_fraction(fraction, "fraction")
         check_positive(slice_bytes, "slice_bytes")
+        self._sync_np()
         row = self._matrix[slice_id]
         moved_fraction = fraction * (1.0 - row[to_node])
         before = row.copy()
@@ -145,6 +240,7 @@ class MemoryPlacement:
         # Re-normalise (guards accumulation of rounding error).
         row /= row.sum()
         self._overall += (row - before) / self.num_slices
+        self._refresh_mirror()
         return moved_fraction * slice_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -30,6 +30,7 @@ from repro.util.rng import RngStreams
 from repro.util.validation import check_positive
 from repro.xen.credit import SchedulerPolicy
 from repro.xen.domain import Domain
+from repro.xen.engine import VectorEngine
 from repro.xen.memalloc import MemoryPlacement
 from repro.xen.pcpu import Pcpu
 from repro.xen.vcpu import Vcpu, VcpuState
@@ -61,6 +62,13 @@ class SimConfig:
         Hypervisor time per counter collection event.
     stop_on_finite_completion:
         Stop once every finite active workload has completed.
+    engine:
+        ``"vector"`` (default) runs epochs through the
+        structure-of-arrays :class:`~repro.xen.engine.VectorEngine`;
+        ``"reference"`` keeps the original dict-based loop.  Both
+        produce bitwise-identical simulated results; the reference
+        path exists as the executable specification the vector engine
+        is tested against.
     """
 
     epoch_s: float = 1e-3
@@ -72,6 +80,7 @@ class SimConfig:
     contention_iterations: int = 2
     pmu_collection_cost_s: float = 0.3e-6
     stop_on_finite_completion: bool = True
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         check_positive(self.epoch_s, "epoch_s")
@@ -81,6 +90,10 @@ class SimConfig:
             raise ValueError("contention_iterations must be >= 1")
         if self.pmu_collection_cost_s < 0:
             raise ValueError("pmu_collection_cost_s must be >= 0")
+        if self.engine not in ("vector", "reference"):
+            raise ValueError(
+                f"engine must be 'vector' or 'reference', got {self.engine!r}"
+            )
 
 
 @dataclass(slots=True)
@@ -135,6 +148,10 @@ class Machine:
         self.pcpus: List[Pcpu] = [
             Pcpu(i, topology.node_of_pcpu(i)) for i in range(topology.num_pcpus)
         ]
+        self._pcpus_by_node: List[List[Pcpu]] = [
+            [self.pcpus[p] for p in topology.pcpus_of_node(node)]
+            for node in range(topology.num_nodes)
+        ]
         self.caches: List[CacheModel] = [
             CacheModel(node.llc_bytes) for node in topology.nodes
         ]
@@ -143,7 +160,11 @@ class Machine:
         self.log = EventLog(enabled=self.config.log_events)
 
         self.domains: List[Domain] = []
+        self._domains_by_name: Dict[str, Domain] = {}
         self.vcpus: List[Vcpu] = []
+        #: lazily built VectorEngine (None with engine="reference" or
+        #: whenever the VCPU population changed since the last epoch)
+        self._engine: Optional[VectorEngine] = None
 
         self.time = 0.0
         self.epoch_index = 0
@@ -170,7 +191,7 @@ class Machine:
         unpinned VCPUs start on a seeded-random PCPU.  Calibration
         scenarios that pin VCPUs (§IV-A) pass ``Domain.pinned_pcpus``.
         """
-        if any(d.name == domain.name for d in self.domains):
+        if domain.name in self._domains_by_name:
             raise ValueError(f"duplicate domain name {domain.name!r}")
         if domain.placement.num_nodes != self.topology.num_nodes:
             raise ValueError(
@@ -179,6 +200,10 @@ class Machine:
                 f"{self.topology.num_nodes}"
             )
         self.domains.append(domain)
+        self._domains_by_name[domain.name] = domain
+        # The engine caches per-VCPU state; rebuild it lazily from the
+        # live machine on the next stepped epoch.
+        self._engine = None
         place_rng = self.rng.get("placement")
         for i, workload in enumerate(domain.workloads):
             key = len(self.vcpus)
@@ -210,10 +235,10 @@ class Machine:
 
     def domain(self, name: str) -> Domain:
         """Look up a domain by name."""
-        for d in self.domains:
-            if d.name == name:
-                return d
-        raise KeyError(f"no domain named {name!r}")
+        try:
+            return self._domains_by_name[name]
+        except KeyError:
+            raise KeyError(f"no domain named {name!r}") from None
 
     # ------------------------------------------------------------------
     # Mechanics used by policies
@@ -276,21 +301,25 @@ class Machine:
         back to the local queue tail and the stolen UNDER VCPU runs.
         """
         self._account_steal(pcpu, stolen, now)
-        cur = pcpu.current
-        if cur is not None:
-            cur.stop_run(now)
-            pcpu.current = None
-            pcpu.queue.push(cur)
+        self.preempt(pcpu, now)
         self._switch_in(pcpu, stolen, now)
 
     def least_loaded_pcpu(self, node: int) -> Pcpu:
         """The PCPU on ``node`` with the smallest load (ties: lowest id)."""
-        candidates = [self.pcpus[p] for p in self.topology.pcpus_of_node(node)]
-        return min(candidates, key=lambda p: (p.load_with_current, p.pcpu_id))
+        return min(
+            self._pcpus_by_node[node],
+            key=lambda p: (p.load_with_current, p.pcpu_id),
+        )
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def _ensure_engine(self) -> Optional[VectorEngine]:
+        """The machine's VectorEngine (built on demand), or None."""
+        if self._engine is None and self.config.engine == "vector":
+            self._engine = VectorEngine(self)
+        return self._engine
+
     def run(self, max_time_s: Optional[float] = None) -> SimResult:
         """Advance the simulation until completion or the time limit."""
         limit = max_time_s if max_time_s is not None else self.config.max_time_s
@@ -309,6 +338,8 @@ class Machine:
         services without a request budget) never "completes" — it runs
         to the time limit.
         """
+        if self._engine is not None:
+            return self._engine.all_finite_done()
         has_finite = any(
             w.active and w.profile.is_finite
             for d in self.domains
@@ -322,6 +353,7 @@ class Machine:
     def _step_epoch(self) -> None:
         now = self.time
         epoch = self.config.epoch_s
+        engine = self._ensure_engine()
 
         # 1. Credit tick (credits, preemption) and PMU refresh charges.
         if self.epoch_index % self._epochs_per_tick == 0:
@@ -336,30 +368,41 @@ class Machine:
 
         # 2. Wakeups: a VCPU waking from sleep gets BOOST priority and
         # preempts a lower-class incumbent on its PCPU (__runq_tickle).
-        for vcpu in self.vcpus:
-            if vcpu.state is VcpuState.BLOCKED and vcpu.wake_time <= now:
-                vcpu.state = VcpuState.RUNNABLE
-                vcpu.wake_time = float("inf")
-                vcpu.boosted = True
-                vcpu.run_burst_remaining_s = vcpu.workload.draw_run_burst()
-                target = self.policy.on_vcpu_wake(vcpu, now)
-                if vcpu.pcpu is not None and target != vcpu.pcpu:
-                    cross = self.topology.node_of_pcpu(vcpu.pcpu) != (
-                        self.topology.node_of_pcpu(target)
-                    )
-                    vcpu.record_migration(cross)
-                    self.migrations += 1
-                    if cross:
-                        self.cross_node_migrations += 1
-                    self.log.emit(
-                        now, "wake_migrate", vcpu=vcpu.name, to_pcpu=target, cross=cross
-                    )
-                vcpu.pcpu = target
-                target_pcpu = self.pcpus[target]
-                target_pcpu.queue.push(vcpu)
-                cur = target_pcpu.current
-                if cur is not None and vcpu.priority_rank < cur.priority_rank:
-                    self.preempt(target_pcpu, now)
+        # The engine pops due VCPUs from its wake heap; the reference
+        # path scans everyone.  Either way the due set is processed in
+        # VCPU-key order, and no wake blocks another VCPU, so the scan
+        # and the heap see the same set.
+        if engine is not None:
+            due = engine.pop_due_wakes(now)
+        else:
+            due = [
+                v
+                for v in self.vcpus
+                if v.state is VcpuState.BLOCKED and v.wake_time <= now
+            ]
+        for vcpu in due:
+            vcpu.state = VcpuState.RUNNABLE
+            vcpu.wake_time = float("inf")
+            vcpu.boosted = True
+            vcpu.run_burst_remaining_s = vcpu.workload.draw_run_burst()
+            target = self.policy.on_vcpu_wake(vcpu, now)
+            if vcpu.pcpu is not None and target != vcpu.pcpu:
+                cross = self.topology.node_of_pcpu(vcpu.pcpu) != (
+                    self.topology.node_of_pcpu(target)
+                )
+                vcpu.record_migration(cross)
+                self.migrations += 1
+                if cross:
+                    self.cross_node_migrations += 1
+                self.log.emit(
+                    now, "wake_migrate", vcpu=vcpu.name, to_pcpu=target, cross=cross
+                )
+            vcpu.pcpu = target
+            target_pcpu = self.pcpus[target]
+            target_pcpu.queue.push(vcpu)
+            cur = target_pcpu.current
+            if cur is not None and vcpu.priority_rank < cur.priority_rank:
+                self.preempt(target_pcpu, now)
 
         # 3. Scheduling pass: fill idle PCPUs, stealing if needed.
         # Like Xen's schedule(): prefer a local UNDER candidate; if the
@@ -388,14 +431,22 @@ class Machine:
                     self._switch_in(pcpu, nxt, now)
 
         # 4. Contention solve and progress.
-        self._advance_running(now, epoch)
+        if engine is not None:
+            engine.advance_running(now, epoch)
+        else:
+            self._advance_running(now, epoch)
 
-        # 5. Phase changes (cheap check per active workload).
+        # 5. Phase changes (heap-driven, or a cheap check per workload).
         end = now + epoch
-        for vcpu in self.vcpus:
-            w = vcpu.workload
-            if w.active and not w.done and w.maybe_phase_change(end):
-                self.log.emit(end, "phase_change", vcpu=vcpu.name, slice=w.slice_id)
+        if engine is not None:
+            engine.apply_phase_changes(end)
+        else:
+            for vcpu in self.vcpus:
+                w = vcpu.workload
+                if w.active and not w.done and w.maybe_phase_change(end):
+                    self.log.emit(
+                        end, "phase_change", vcpu=vcpu.name, slice=w.slice_id
+                    )
 
         # 6. Sampling-period boundary.
         if (self.epoch_index + 1) % self._epochs_per_sample == 0:
@@ -427,9 +478,12 @@ class Machine:
         self.policy.on_context_switch(pcpu, None, vcpu)
 
     # ------------------------------------------------------------------
-    # Contention + progress
+    # Contention + progress (reference path)
     # ------------------------------------------------------------------
     def _advance_running(self, now: float, epoch: float) -> None:
+        # This dict-based loop is the executable specification that
+        # VectorEngine.advance_running replicates bitwise; changes here
+        # must be mirrored there (the determinism test enforces it).
         running: List[Tuple[Pcpu, Vcpu]] = [
             (p, p.current) for p in self.pcpus if p.current is not None
         ]

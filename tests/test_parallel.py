@@ -1,0 +1,59 @@
+"""Tests for repro.experiments.parallel.
+
+The parallel runner must be a drop-in for the serial one: identical
+results (each cell is an independent seeded simulation), identical
+ordering, identical aggregation — only the wall clock changes.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.experiments.parallel import ParallelRunner, default_jobs
+from repro.experiments.runner import compare, compare_mean
+from repro.experiments.scenarios import ScenarioConfig, solo_scenario
+
+CFG = ScenarioConfig(work_scale=0.02, seed=0)
+BUILDER = partial(solo_scenario, "lu")
+
+
+class TestParallelRunner:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_serial_fallback_is_serial_compare(self):
+        serial = compare(BUILDER, CFG, ("credit", "vprobe"))
+        runner = ParallelRunner(1).compare(BUILDER, CFG, ("credit", "vprobe"))
+        assert serial == runner
+
+    def test_parallel_compare_matches_serial(self):
+        serial = compare(BUILDER, CFG, ("credit", "vprobe", "lb"))
+        parallel = ParallelRunner(3).compare(
+            BUILDER, CFG, ("credit", "vprobe", "lb")
+        )
+        assert tuple(parallel) == ("credit", "vprobe", "lb")
+        assert parallel == serial
+
+    def test_parallel_compare_mean_matches_serial(self):
+        serial = compare_mean(BUILDER, CFG, ("credit", "vprobe"), seeds=(0, 1))
+        parallel = ParallelRunner(4).compare_mean(
+            BUILDER, CFG, ("credit", "vprobe"), seeds=(0, 1)
+        )
+        assert parallel == serial
+
+    def test_compare_mean_requires_seeds(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(2).compare_mean(BUILDER, CFG, seeds=())
+
+    def test_run_grid_parallel_matches_serial(self):
+        from repro.experiments import fig5
+
+        serial = fig5.run(CFG, workloads=("lu", "sp"), schedulers=("credit", "vprobe"))
+        parallel = fig5.run(
+            CFG, workloads=("lu", "sp"), schedulers=("credit", "vprobe"), jobs=4
+        )
+        assert serial == parallel

@@ -64,3 +64,26 @@ class TestCompareMean:
 
         with _pytest.raises(ValueError):
             compare_mean(builder, CFG, ("credit",), seeds=())
+
+    def test_unknown_domain_raises(self):
+        from repro.experiments.runner import compare_mean
+
+        with pytest.raises(KeyError):
+            compare_mean(
+                builder, CFG, ("credit",), seeds=(0,), domain="no-such-vm"
+            )
+
+    def test_subset_ordering_preserved(self):
+        from repro.experiments.runner import compare_mean
+
+        stats = compare_mean(builder, CFG, ("lb", "credit"), seeds=(0,))
+        assert tuple(stats) == ("lb", "credit")
+        assert all(s.scheduler == name for name, s in stats.items())
+
+
+class TestAggregateMeanStats:
+    def test_length_mismatch_rejected(self):
+        from repro.experiments.runner import aggregate_mean_stats
+
+        with pytest.raises(ValueError):
+            aggregate_mean_stats(("credit",), (0, 1), [], domain="vm1")
