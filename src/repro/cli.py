@@ -7,6 +7,7 @@ Commands
 
         python -m repro compare soplex --schedulers credit vprobe lb
         python -m repro compare sp --work-scale 0.3 --seed 7
+        python -m repro compare mcf --faults chaos --schedulers credit vprobe vprobe-h
 
 ``solo``
     The §IV-A calibration run for one application (miss rate, RPTI,
@@ -38,6 +39,7 @@ from repro.experiments import (
 )
 from repro.experiments.runner import run_one
 from repro.experiments.scenarios import SCHEDULER_NAMES
+from repro.faults.plan import FAULT_PRESETS, fault_preset
 from repro.metrics.report import format_table, improvement_pct
 from repro.workloads.suites import NPB_PROFILES, profile_names
 
@@ -58,11 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--schedulers",
         nargs="+",
         default=["credit", "vprobe"],
-        choices=list(SCHEDULER_NAMES),
+        choices=list(SCHEDULER_NAMES) + ["vprobe-h"],
         help="schedulers to run (paired seeds)",
     )
     cmp_p.add_argument("--work-scale", type=float, default=0.15)
     cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument(
+        "--faults",
+        choices=sorted(FAULT_PRESETS),
+        default=None,
+        metavar="PRESET",
+        help=(
+            "inject a named fault preset into every run "
+            f"(one of: {', '.join(sorted(FAULT_PRESETS))})"
+        ),
+    )
     cmp_p.add_argument(
         "--sample-period", type=float, default=1.0, help="vProbe sampling period (s)"
     )
@@ -91,10 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    plan = fault_preset(args.faults) if args.faults else None
     cfg = ScenarioConfig(
         work_scale=args.work_scale,
         seed=args.seed,
         sample_period_s=args.sample_period,
+        faults=None if plan is None or plan.is_null() else plan,
+        label=f"compare {args.app}",
     )
     if args.app in NPB_PROFILES:
         builder = partial(npb_scenario, args.app)
@@ -135,6 +150,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if plan is not None and not plan.is_null():
+        counts = ", ".join(
+            f"{name}: {s.fault_stats.total_events if s.fault_stats else 0}"
+            for name, s in results.items()
+        )
+        print(f"\ninjected fault events ({args.faults}) — {counts}")
     if "vprobe" in results and baseline != "vprobe":
         print(
             f"\nvprobe improvement over {baseline}: "

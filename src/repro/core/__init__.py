@@ -14,7 +14,7 @@ Three cooperating mechanisms layered on the Credit scheduler:
 functions also build the paper's ablation variants (VCPU-P, LB).
 """
 
-from repro.core.classify import Bounds, classify, llc_access_pressure
+from repro.core.classify import Bounds, TypeHysteresis, classify, llc_access_pressure
 from repro.core.analyzer import PmuAnalyzer, VcpuSample
 from repro.core.partition import PartitionDecision, periodical_partition
 from repro.core.balance import numa_aware_steal
@@ -24,11 +24,13 @@ from repro.core.vprobe import (
     load_balance_only,
     vcpu_partition_only,
     vprobe,
+    vprobe_hardened,
 )
 from repro.core.bounds import DynamicBounds
 
 __all__ = [
     "Bounds",
+    "TypeHysteresis",
     "classify",
     "llc_access_pressure",
     "PmuAnalyzer",
@@ -39,6 +41,7 @@ __all__ = [
     "VProbeParams",
     "VProbeScheduler",
     "vprobe",
+    "vprobe_hardened",
     "vcpu_partition_only",
     "load_balance_only",
     "DynamicBounds",

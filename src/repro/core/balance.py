@@ -17,7 +17,7 @@ scan it:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.xen.pcpu import Pcpu
 from repro.xen.vcpu import Vcpu
@@ -45,7 +45,11 @@ def node_visit_order(machine: "Machine", home_node: int) -> Iterable[int]:
 
 
 def numa_aware_steal(
-    machine: "Machine", pcpu: Pcpu, now: float, under_only: bool = False
+    machine: "Machine",
+    pcpu: Pcpu,
+    now: float,
+    under_only: bool = False,
+    pressure_of: Optional[Callable[[Vcpu], float]] = None,
 ) -> Optional[Vcpu]:
     """Algorithm 2: pick a VCPU for a PCPU that needs work.
 
@@ -63,20 +67,31 @@ def numa_aware_steal(
     Returns the chosen VCPU already removed from its victim queue (the
     machine completes the migration bookkeeping), or None when no
     eligible VCPU exists anywhere.
+
+    ``pressure_of`` overrides the pressure used for victim ranking
+    (default: the VCPU's recorded ``llc_pressure``).  The hardened
+    vProbe substitutes 0 for VCPUs whose telemetry it no longer
+    trusts, so stale pressure readings cannot pin a VCPU in place.
     """
     del under_only  # Algorithm 2 ranks by pressure, not credit priority.
+    if pressure_of is None:
+        pressure_of = _recorded_pressure
     hot_window = machine.policy.params.cache_hot_s
     for only_cold in (True, False):
         if not only_cold and (pcpu.current is not None or pcpu.queue):
             # Only a PCPU about to idle falls back to cache-hot steals.
             break
-        found = _scan_nodes(machine, pcpu, now, only_cold, hot_window)
+        found = _scan_nodes(machine, pcpu, now, only_cold, hot_window, pressure_of)
         if found is not None:
             return found
     return None
 
 
-def _scan_nodes(machine, pcpu, now, only_cold, hot_window):
+def _recorded_pressure(vcpu: Vcpu) -> float:
+    return vcpu.llc_pressure
+
+
+def _scan_nodes(machine, pcpu, now, only_cold, hot_window, pressure_of):
     for node in node_visit_order(machine, pcpu.node):
         # loadList: this node's PCPUs by descending workload counter.
         peers = sorted(
@@ -93,7 +108,7 @@ def _scan_nodes(machine, pcpu, now, only_cold, hot_window):
             ]
             if not candidates:
                 continue
-            vcpu = min(candidates, key=lambda v: v.llc_pressure)
+            vcpu = min(candidates, key=pressure_of)
             if vcpu is not None:
                 victim.queue.remove(vcpu)
                 machine.log.emit(

@@ -21,11 +21,18 @@ libquantum (22.41).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Set, Tuple
 
 from repro.xen.vcpu import VcpuType
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["DEFAULT_ALPHA", "Bounds", "llc_access_pressure", "classify"]
+__all__ = [
+    "DEFAULT_ALPHA",
+    "Bounds",
+    "llc_access_pressure",
+    "classify",
+    "TypeHysteresis",
+]
 
 #: Eq. 2 scale constant: pressure = references per 1000 instructions.
 DEFAULT_ALPHA = 1000.0
@@ -75,3 +82,67 @@ def classify(pressure: float, bounds: Bounds | None = None) -> VcpuType:
     if pressure < b.high:
         return VcpuType.LLC_FI
     return VcpuType.LLC_T
+
+
+class TypeHysteresis:
+    """Debounce Eq. 3 classifications: commit a switch only after the
+    raw class disagrees with the committed one for ``windows``
+    consecutive samples.
+
+    Eq. 3 is a pair of hard thresholds; under noisy or saturated
+    counters a VCPU near a bound flips class every sampling period,
+    and each flip can trigger a partitioning migration — telemetry
+    jitter becomes placement thrash.  Hysteresis makes a flip cost K
+    agreeing windows: one corrupted sample can no longer move a VCPU.
+
+    A key's *first* sample always commits immediately: before it there
+    is no committed classification to defend, only the synthetic
+    default every VCPU is born with, and making the first real
+    observation wait K windows would just delay partitioning at
+    startup (badly so under dropout, where accumulating K consecutive
+    agreeing windows can take most of a run).
+
+    ``windows=1`` commits every sample immediately, reproducing plain
+    :func:`classify` bit for bit (the naive-vProbe default).
+    """
+
+    def __init__(self, windows: int = 1) -> None:
+        if windows < 1:
+            raise ValueError(f"windows must be >= 1, got {windows}")
+        self.windows = windows
+        #: per-key (candidate type, consecutive windows seen) while a
+        #: switch is pending
+        self._pending: Dict[int, Tuple[VcpuType, int]] = {}
+        #: keys that have committed at least one observed sample
+        self._seen: Set[int] = set()
+
+    def update(self, key: int, committed: VcpuType, raw: VcpuType) -> VcpuType:
+        """Fold one raw classification into ``key``'s committed type.
+
+        Returns the type the caller should adopt: ``raw`` on the first
+        observed sample or once it has held for ``windows`` consecutive
+        samples, else ``committed``.
+        """
+        if key not in self._seen:
+            self._seen.add(key)
+            self._pending.pop(key, None)
+            return raw
+        if raw is committed:
+            self._pending.pop(key, None)
+            return committed
+        candidate, streak = self._pending.get(key, (raw, 0))
+        streak = streak + 1 if candidate is raw else 1
+        if streak >= self.windows:
+            self._pending.pop(key, None)
+            return raw
+        self._pending[key] = (raw, streak)
+        return committed
+
+    def reset(self, key: int) -> None:
+        """Forget everything about ``key`` (e.g. VCPU destroyed)."""
+        self._pending.pop(key, None)
+        self._seen.discard(key)
+
+    def pending(self, key: int) -> Tuple[VcpuType, int] | None:
+        """The (candidate, streak) pending for ``key``, if any."""
+        return self._pending.get(key)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.xen.vcpu import Vcpu, VcpuState, VcpuType
 
@@ -44,29 +44,42 @@ class PartitionDecision:
     local: bool  #: True when node == affinity (no new remote accesses)
 
 
-def _candidates(machine: "Machine") -> List[Vcpu]:
-    """Memory-intensive, still-live VCPUs, in stable key order."""
+def _candidates(
+    machine: "Machine",
+    eligible: Optional[Callable[[Vcpu], bool]] = None,
+) -> List[Vcpu]:
+    """Memory-intensive, still-live VCPUs, in stable key order.
+
+    ``eligible`` further filters the pool — the hardened vProbe passes
+    its telemetry-confidence gate here so VCPUs with stale or dropped
+    PMU data are never migrated on untrusted classifications.
+    """
     return [
         v
         for v in machine.vcpus
         if v.state is not VcpuState.DONE
         and v.workload.active
         and v.vcpu_type.memory_intensive
+        and (eligible is None or eligible(v))
     ]
 
 
 def periodical_partition(
     machine: "Machine",
     now: float,
+    eligible: Optional[Callable[[Vcpu], bool]] = None,
 ) -> List[PartitionDecision]:
     """Run Algorithm 1 and perform the resulting migrations.
 
     Returns the assignment list so the caller (the vProbe policy) can
     charge overhead proportional to the work done and tests can check
-    the invariants (even spread, affinity preference).
+    the invariants (even spread, affinity preference).  ``eligible``
+    (optional) restricts which VCPUs Algorithm 1 may touch; the
+    default considers every memory-intensive live VCPU, as the paper
+    specifies.
     """
     num_nodes = machine.topology.num_nodes
-    unassigned = _candidates(machine)
+    unassigned = _candidates(machine, eligible)
 
     # groupOfVc(c, p): unassigned VCPUs of type c with affinity p.
     # Affinity None (never sampled) is grouped under the VCPU's current

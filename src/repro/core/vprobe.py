@@ -13,6 +13,17 @@ Overhead is charged faithfully (it is the subject of Table III): PMU
 save/restore around context switches and 10 ms refreshes, plus the
 partitioning pass itself, all consume hypervisor time on the PCPUs
 where they run.
+
+A **hardened** variant (``vprobe-h``, :func:`vprobe_hardened`) degrades
+gracefully when telemetry lies: classification switches require
+``hysteresis_windows`` consecutive agreeing samples, and each VCPU
+carries a confidence score that decays while its PMU windows are
+dropped or empty.  Below ``min_confidence`` the scheduler stops making
+NUMA decisions *for that VCPU* — no partition migrations, Credit wake
+placement, zero pressure in steal ranking — so with telemetry fully
+dead vProbe-h converges to stock Credit behaviour instead of thrashing
+on garbage.  The defaults (windows=1, min_confidence=0) reproduce the
+paper's trusting scheduler bit for bit.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ __all__ = [
     "VProbeParams",
     "VProbeScheduler",
     "vprobe",
+    "vprobe_hardened",
     "vcpu_partition_only",
     "load_balance_only",
 ]
@@ -77,6 +89,22 @@ class VProbeParams:
         node every period) and end up spread across both sockets —
         worse than not migrating at all, and a concrete form of the
         cost the paper's §VI warns about.
+    hysteresis_windows:
+        Consecutive sampling windows a VCPU must spend in a new Eq. 3
+        class before its committed type switches.  1 = the paper's
+        immediate reclassification.
+    min_confidence:
+        Telemetry-confidence threshold in [0, 1] below which the
+        scheduler falls back to stock Credit behaviour for a VCPU.
+        0 disables the gate (every reading is trusted, as the paper
+        assumes).
+    confidence_decay:
+        EMA weight of the analyzer's confidence score, in (0, 1).
+    reject_implausible:
+        Discard PMU windows whose counters are physically impossible
+        (more instructions than the clock allows, absurd Eq. 2
+        pressure) as if they had been dropped.  Inert on healthy
+        telemetry; see :class:`~repro.core.analyzer.PmuAnalyzer`.
     """
 
     bounds: Bounds = Bounds()
@@ -88,6 +116,10 @@ class VProbeParams:
     page_migration_fraction: float = 0.25
     page_copy_bandwidth: float = 2.0e9
     page_migration_patience: int = 2
+    hysteresis_windows: int = 1
+    min_confidence: float = 0.0
+    confidence_decay: float = 0.5
+    reject_implausible: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative(self.partition_cost_per_vcpu_s, "partition_cost_per_vcpu_s")
@@ -98,6 +130,25 @@ class VProbeParams:
             raise ValueError("page_copy_bandwidth must be > 0")
         if self.page_migration_patience < 1:
             raise ValueError("page_migration_patience must be >= 1")
+        if self.hysteresis_windows < 1:
+            raise ValueError("hysteresis_windows must be >= 1")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if not 0.0 < self.confidence_decay < 1.0:
+            raise ValueError(
+                f"confidence_decay must be in (0, 1), got {self.confidence_decay}"
+            )
+
+    @property
+    def hardened(self) -> bool:
+        """True when any graceful-degradation defence is active."""
+        return (
+            self.hysteresis_windows > 1
+            or self.min_confidence > 0.0
+            or self.reject_implausible
+        )
 
 
 class VProbeScheduler(CreditScheduler):
@@ -113,7 +164,12 @@ class VProbeScheduler(CreditScheduler):
     ) -> None:
         super().__init__(params)
         self.vparams = vparams or VProbeParams()
-        self.analyzer = PmuAnalyzer(self.vparams.bounds)
+        self.analyzer = PmuAnalyzer(
+            self.vparams.bounds,
+            hysteresis_windows=self.vparams.hysteresis_windows,
+            confidence_decay=self.vparams.confidence_decay,
+            reject_implausible=self.vparams.reject_implausible,
+        )
         self._dynamic = DynamicBounds(self.vparams.bounds) if self.vparams.dynamic_bounds else None
         #: per-VCPU (node, consecutive forced-remote periods) for the
         #: page-migration hysteresis
@@ -123,6 +179,21 @@ class VProbeScheduler(CreditScheduler):
             self.name = "lb"
         elif self.vparams.enable_partition and not self.vparams.enable_numa_lb:
             self.name = "vcpu-p"
+        elif self.vparams.hardened:
+            self.name = "vprobe-h"
+
+    # ------------------------------------------------------------------
+    # Telemetry trust
+    # ------------------------------------------------------------------
+    def trusted(self, vcpu: Vcpu) -> bool:
+        """Whether this VCPU's telemetry clears the confidence gate.
+
+        Always True when the gate is disabled (``min_confidence=0``) —
+        the paper's trusting behaviour.
+        """
+        if self.vparams.min_confidence <= 0.0:
+            return True
+        return self.analyzer.confidence(vcpu.key) >= self.vparams.min_confidence
 
     # ------------------------------------------------------------------
     # Sampling period: analyze, (re)classify, partition
@@ -138,7 +209,16 @@ class VProbeScheduler(CreditScheduler):
             self.analyzer.bounds = self._dynamic.update(pressures)
 
         if self.vparams.enable_partition:
-            decisions = periodical_partition(machine, now)
+            eligible = None
+            if self.vparams.min_confidence > 0.0:
+                eligible = self.trusted
+                # A VCPU whose telemetry went stale must not keep an old
+                # partition assignment pinning it to a node the evidence
+                # for which has expired — release it back to Credit.
+                for vcpu in machine.vcpus:
+                    if vcpu.assigned_node is not None and not self.trusted(vcpu):
+                        vcpu.assigned_node = None
+            decisions = periodical_partition(machine, now, eligible=eligible)
             cost = self.vparams.partition_cost_per_vcpu_s * len(decisions)
             # The partitioning pass runs on one PCPU (dom0's), eating
             # its guest time — the Table III "overhead time".
@@ -190,8 +270,22 @@ class VProbeScheduler(CreditScheduler):
         machine = self.machine
         assert machine is not None
         if self.vparams.enable_numa_lb:
-            return numa_aware_steal(machine, pcpu, now, under_only=under_only)
+            pressure_of = None
+            if self.vparams.min_confidence > 0.0:
+                pressure_of = self._gated_pressure
+            return numa_aware_steal(
+                machine, pcpu, now, under_only=under_only, pressure_of=pressure_of
+            )
         return super().steal(pcpu, now, under_only=under_only)
+
+    def _gated_pressure(self, vcpu: Vcpu) -> float:
+        """Steal-ranking pressure: 0 when the reading can't be trusted.
+
+        An untrusted VCPU ranks as cache-light, so Algorithm 2 prefers
+        moving it — exactly Credit's indifference — rather than letting
+        a stale high pressure protect it from migration.
+        """
+        return vcpu.llc_pressure if self.trusted(vcpu) else 0.0
 
     # ------------------------------------------------------------------
     # Wake placement: the NUMA-aware balancer also serves wake pulls
@@ -208,6 +302,10 @@ class VProbeScheduler(CreditScheduler):
         machine = self.machine
         assert machine is not None
         if not self.vparams.enable_numa_lb:
+            return super().on_vcpu_wake(vcpu, now)
+        if self.vparams.min_confidence > 0.0 and not self.trusted(vcpu):
+            # No believable affinity data: place the wake exactly the
+            # way stock Credit would.
             return super().on_vcpu_wake(vcpu, now)
         if self.vparams.enable_partition and vcpu.assigned_node is not None:
             node = vcpu.assigned_node
@@ -242,6 +340,44 @@ def vprobe(
             bounds=bounds or Bounds(),
             dynamic_bounds=dynamic_bounds,
             page_migration=page_migration,
+        ),
+    )
+
+
+def vprobe_hardened(
+    params: CreditParams | None = None,
+    bounds: Bounds | None = None,
+    hysteresis_windows: int = 2,
+    min_confidence: float = 0.02,
+    confidence_decay: float = 0.9,
+    reject_implausible: bool = False,
+) -> VProbeScheduler:
+    """vProbe with graceful telemetry degradation (``vprobe-h``).
+
+    Identical to :func:`vprobe` while the PMU behaves; under sample
+    dropout, counter noise or saturation it debounces type flips and
+    falls back per-VCPU to stock Credit decisions once confidence in
+    that VCPU's telemetry decays below ``min_confidence``.  The low
+    threshold plus slow decay make the gate a *sustained-outage*
+    detector: flaky-but-live telemetry keeps vProbe's mechanisms
+    active, only a PMU that has been silent for dozens of consecutive
+    periods revokes trust.
+
+    ``reject_implausible`` additionally discards physically impossible
+    counter windows.  It is off by default: measurements show it helps
+    when corruption is occasional (most windows clean, the filter
+    removes the wild outliers) but hurts when corruption dominates —
+    the gaps it creates starve classification more than the surviving
+    garbage would have cost.
+    """
+    return VProbeScheduler(
+        params,
+        VProbeParams(
+            bounds=bounds or Bounds(),
+            hysteresis_windows=hysteresis_windows,
+            min_confidence=min_confidence,
+            confidence_decay=confidence_decay,
+            reject_implausible=reject_implausible,
         ),
     )
 

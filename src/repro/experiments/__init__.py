@@ -11,6 +11,8 @@ Module             Reproduces
 ``fig7``           §V-B4 redis connection sweep (Fig. 7a-c)
 ``table3``         §V-C1 overhead-time percentages (Table III)
 ``fig8``           §V-C2 sampling-period sweep (Fig. 8)
+``fig9_faults``    fault-rate sweep: hardened vs naive vProbe vs Credit
+                   (robustness extension, not in the paper)
 =================  ====================================================
 """
 
@@ -26,6 +28,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    fig9_faults,
     table3,
 )
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
@@ -59,6 +62,7 @@ __all__ = [
     "fig6",
     "fig7",
     "fig8",
+    "fig9_faults",
     "table3",
     "ablation",
     "ComparisonResult",

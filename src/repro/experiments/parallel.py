@@ -15,6 +15,17 @@ not by execution order.
 counterparts return, cell for cell.  With ``jobs <= 1`` it *is* the
 serial path (no executor, no pickling), so callers can thread a
 ``--jobs N`` flag straight through.
+
+Worker crashes don't lose the grid: any cell whose future fails —
+including the :class:`BrokenProcessPool` cascade when one worker dies
+and takes every pending future with it — is retried once, serially, in
+the parent process.  Because cells are deterministic functions of
+(builder, scheduler, config), a serial re-run produces the exact
+summary the worker would have; only cells that *also* fail serially
+surface, aggregated into one :class:`ParallelExecutionError` naming
+them.  Retried cells are recorded in
+:attr:`ParallelRunner.retried_cells` so a flaky pool never passes
+silently.
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import (
@@ -33,15 +46,59 @@ from repro.experiments.runner import (
 from repro.experiments.scenarios import SCHEDULER_NAMES, ScenarioConfig
 from repro.metrics.collectors import RunSummary
 
-__all__ = ["ParallelRunner", "default_jobs"]
+__all__ = ["ParallelRunner", "ParallelExecutionError", "default_jobs"]
 
 #: One grid cell: (builder, scheduler name, config).
 Cell = Tuple[ScenarioBuilder, str, ScenarioConfig]
 
 
 def default_jobs() -> int:
-    """A sensible ``--jobs`` default: all cores, at least one."""
+    """A sensible ``--jobs`` default: all *usable* cores, at least one.
+
+    Containers and batch schedulers often pin the process to a subset
+    of the machine (cgroup cpusets, ``taskset``); ``os.cpu_count()``
+    ignores that and would oversubscribe the allowance, so the affinity
+    mask wins where the platform exposes one.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
     return max(1, os.cpu_count() or 1)
+
+
+def cell_name(cell: Cell) -> str:
+    """A stable human-readable id: ``builder(args)/scheduler/seed=N``."""
+    builder, scheduler, cfg = cell
+    fn = builder
+    bound: List[str] = []
+    while isinstance(fn, partial):
+        bound.extend(str(a) for a in fn.args)
+        bound.extend(f"{k}={v}" for k, v in sorted(fn.keywords.items()))
+        fn = fn.func
+    base = getattr(fn, "__name__", repr(fn))
+    label = f"{base}({', '.join(bound)})" if bound else base
+    return f"{label}/{scheduler}/seed={cfg.seed}"
+
+
+class ParallelExecutionError(RuntimeError):
+    """Cells that failed both in a worker and on the serial retry.
+
+    ``failures`` maps each failing cell's :func:`cell_name` to the
+    exception its serial retry raised (the worker-side error is often
+    just the pool-collapse cascade; the serial one is the real cause).
+    """
+
+    def __init__(self, failures: Dict[str, BaseException], total: int) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"{name}: {type(exc).__name__}: {exc}" for name, exc in failures.items()
+        )
+        super().__init__(
+            f"{len(failures)} of {total} cells failed even after serial retry: {detail}"
+        )
 
 
 class ParallelRunner:
@@ -58,6 +115,9 @@ class ParallelRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: cell names recovered by serial retry in the latest
+        #: :meth:`run_cells` call (empty on a clean parallel run)
+        self.retried_cells: List[str] = []
 
     def run_cells(self, cells: Sequence[Cell]) -> List[RunSummary]:
         """Run cells (in order); parallel when jobs and cells allow.
@@ -65,13 +125,46 @@ class ParallelRunner:
         Builders must be picklable for ``jobs > 1`` — module-level
         functions or :func:`functools.partial` over them, which is what
         every figure module provides.
+
+        Cells whose worker fails (an exception in the cell, or a crash
+        that breaks the whole pool) are re-run serially in this process
+        — determinism makes the retry result identical to what the
+        worker would have produced.  Cells failing the retry too raise
+        one aggregated :class:`ParallelExecutionError`.
         """
+        self.retried_cells = []
         if self.jobs <= 1 or len(cells) <= 1:
             return [run_one(b, s, c) for b, s, c in cells]
         workers = min(self.jobs, len(cells))
+        results: List[Optional[RunSummary]] = [None] * len(cells)
+        failed: List[int] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run_one, b, s, c) for b, s, c in cells]
-            return [f.result() for f in futures]
+            futures: Dict[int, object] = {}
+            for index, (b, s, c) in enumerate(cells):
+                try:
+                    futures[index] = pool.submit(run_one, b, s, c)
+                except BrokenProcessPool:
+                    # The pool died while we were still submitting;
+                    # everything not yet submitted goes to the retry.
+                    failed.append(index)
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except Exception:
+                    failed.append(index)
+        failed.sort()
+        failures: Dict[str, BaseException] = {}
+        for index in failed:
+            b, s, c = cells[index]
+            name = cell_name(cells[index])
+            self.retried_cells.append(name)
+            try:
+                results[index] = run_one(b, s, c)
+            except Exception as exc:
+                failures[name] = exc
+        if failures:
+            raise ParallelExecutionError(failures, total=len(cells))
+        return results  # type: ignore[return-value]  # all slots filled
 
     def compare(
         self,

@@ -31,6 +31,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    fig9_faults,
     table3,
 )
 
@@ -59,6 +60,12 @@ def _jobs(fast: bool, jobs: int = 1) -> Tuple[Tuple[str, Callable[[], str]], ...
             ).format(),
         ),
         ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0)).format()),
+        (
+            "fig9_fault_degradation",
+            lambda: fig9_faults.run(
+                cfg(scale, 0), seeds=3 if fast else 5, jobs=jobs
+            ).format(),
+        ),
         ("table3_overhead", lambda: table3.run(cfg(scale, 0)).format()),
         (
             "ablation_dynamic_bounds",

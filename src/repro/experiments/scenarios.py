@@ -24,7 +24,13 @@ from typing import List, Optional, Sequence
 
 from repro.baselines.brm import BRMScheduler
 from repro.core.classify import Bounds
-from repro.core.vprobe import load_balance_only, vcpu_partition_only, vprobe
+from repro.core.vprobe import (
+    load_balance_only,
+    vcpu_partition_only,
+    vprobe,
+    vprobe_hardened,
+)
+from repro.faults.plan import FaultPlan
 from repro.hardware.memory import LatencySpec
 from repro.hardware.topology import GIB, NUMATopology, xeon_e5620
 from repro.workloads.appmodel import ApplicationProfile, VcpuWorkload
@@ -87,6 +93,16 @@ class ScenarioConfig:
         Memory latency model override.
     engine:
         Simulator engine: ``"vector"`` (default) or ``"reference"``.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into
+        every machine built from this config; None (default) runs
+        fault-free.
+    max_epochs:
+        Optional hard cap on simulated epochs — exceeded, the run
+        raises :class:`~repro.xen.simulator.SimulationTimeout` naming
+        the scenario instead of spinning forever.
+    label:
+        Human-readable scenario name carried into error messages.
     """
 
     work_scale: float = 0.10
@@ -97,6 +113,9 @@ class ScenarioConfig:
     log_events: bool = False
     latency: LatencySpec = field(default_factory=LatencySpec)
     engine: str = "vector"
+    faults: Optional[FaultPlan] = None
+    max_epochs: Optional[int] = None
+    label: str = ""
 
     def __post_init__(self) -> None:
         check_positive(self.work_scale, "work_scale")
@@ -112,6 +131,9 @@ class ScenarioConfig:
             latency=self.latency,
             log_events=self.log_events,
             engine=self.engine,
+            faults=self.faults,
+            max_epochs=self.max_epochs,
+            label=self.label,
         )
 
 
@@ -121,19 +143,28 @@ def make_scheduler(
     bounds: Optional[Bounds] = None,
     dynamic_bounds: bool = False,
 ) -> SchedulerPolicy:
-    """Instantiate one of the §V-A(2) scheduling approaches by name."""
+    """Instantiate one of the §V-A(2) scheduling approaches by name.
+
+    Beyond the paper's five, ``"vprobe-h"`` builds the hardened vProbe
+    (type hysteresis + per-VCPU confidence fallback) used by the fault
+    experiments; it is deliberately not part of ``SCHEDULER_NAMES``.
+    """
     key = name.lower()
     if key == "credit":
         return CreditScheduler(params)
     if key == "vprobe":
         return vprobe(params, bounds, dynamic_bounds=dynamic_bounds)
+    if key == "vprobe-h":
+        return vprobe_hardened(params, bounds)
     if key == "vcpu-p":
         return vcpu_partition_only(params, bounds)
     if key == "lb":
         return load_balance_only(params, bounds)
     if key == "brm":
         return BRMScheduler(params)
-    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}")
+    raise ValueError(
+        f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES + ('vprobe-h',)}"
+    )
 
 
 def build_machine(

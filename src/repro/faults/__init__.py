@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the vProbe reproduction.
+
+The paper assumes trustworthy per-VCPU PMU samples; real PMUs
+multiplex, drop and saturate.  This package makes that failure mode a
+first-class, *replayable* experimental variable:
+
+* :class:`~repro.faults.plan.FaultPlan` — a frozen, picklable
+  description of what can go wrong (sample dropout, multiplicative
+  counter noise, LLC counter saturation, transient PCPU stalls,
+  domain crash/restart);
+* :class:`~repro.faults.injector.FaultInjector` — the runtime that
+  fires those faults against a live machine, drawing only from
+  dedicated ``faults.*`` RNG streams so identical (seed, plan) pairs
+  replay bitwise and a zero-rate plan is indistinguishable from no
+  plan at all;
+* :data:`~repro.faults.plan.FAULT_PRESETS` — named plans for the CLI
+  (``--faults PRESET``) and the fig9 degradation sweep.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FAULT_PRESETS, DomainCrash, FaultPlan, fault_preset
+
+__all__ = [
+    "DomainCrash",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "FAULT_PRESETS",
+    "fault_preset",
+]

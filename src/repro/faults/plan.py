@@ -1,0 +1,160 @@
+"""Declarative fault plans for deterministic fault injection.
+
+A :class:`FaultPlan` states *what can go wrong* in a run — PMU sample
+dropout, multiplicative counter noise, LLC counter saturation, transient
+PCPU stalls and domain crash/restart — without holding any runtime
+state.  Plans are frozen dataclasses, so they are hashable, picklable
+(they travel to :class:`~repro.experiments.parallel.ParallelRunner`
+workers inside a :class:`~repro.experiments.scenarios.ScenarioConfig`)
+and safely shareable between paired runs.
+
+All randomness is drawn at run time by the
+:class:`~repro.faults.injector.FaultInjector` from dedicated
+``faults.*`` streams of the machine's root :class:`~repro.util.rng.RngStreams`,
+so (a) identical seed + plan replays bitwise and (b) a zero-rate plan
+consumes nothing from any stream another subsystem reads — a run with
+``FaultPlan()`` is bitwise-identical to a run with no plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.util.validation import check_fraction, check_non_negative
+
+__all__ = ["DomainCrash", "FaultPlan", "FAULT_PRESETS", "fault_preset"]
+
+
+@dataclass(frozen=True, slots=True)
+class DomainCrash:
+    """One scheduled crash-and-restart of a domain.
+
+    Attributes
+    ----------
+    domain:
+        Name of the domain to crash (e.g. ``"vm2"``).
+    at_time_s:
+        Simulated time the crash fires.
+    downtime_s:
+        How long every VCPU stays offline before the restart.
+    lose_progress:
+        When True (default), active workloads restart from zero
+        retired instructions — the guest rebooted; when False the
+        domain merely pauses (live-migration blackout model).
+    """
+
+    domain: str
+    at_time_s: float
+    downtime_s: float = 1.0
+    lose_progress: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ValueError("crash domain name must be non-empty")
+        check_non_negative(self.at_time_s, "at_time_s")
+        if self.downtime_s <= 0:
+            raise ValueError(f"downtime_s must be > 0, got {self.downtime_s}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Seeded fault-injection configuration for one run.
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability that a VCPU's PMU sampling window is dropped
+        (the analyzer sees *no sample* for that VCPU this period) —
+        models counter multiplexing losing the slot.
+    noise_std:
+        Log-normal sigma of the multiplicative noise applied to a
+        corrupted window's instruction and LLC-reference counts
+        (independent multipliers, so the derived pressure is noisy).
+        0 disables noise exactly (no draws, no arithmetic).
+    noise_rate:
+        Probability that a given surviving window is corrupted with
+        that noise (1.0 = every window, the continuous-jitter model;
+        lower values model *occasional* wild readings — a multiplexing
+        glitch or overflow corrupts one sample, the next is clean).
+    llc_ref_cap:
+        Saturation cap on a window's LLC reference count: counters
+        clamp instead of overflowing (misses clamp with them so the
+        window stays internally consistent).  None disables.
+    stall_rate:
+        Per-PCPU, per-epoch probability that a transient stall starts;
+        a stalled PCPU loses ``stall_epochs`` epochs of guest compute
+        (charged as hypervisor overhead, so both engines price it
+        identically).
+    stall_epochs:
+        Length of one stall, in epochs.
+    crashes:
+        Scheduled :class:`DomainCrash` events.
+
+    A default-constructed plan injects nothing; :meth:`is_null` tells
+    callers whether the plan can have any effect at all.
+    """
+
+    drop_rate: float = 0.0
+    noise_std: float = 0.0
+    noise_rate: float = 1.0
+    llc_ref_cap: Optional[float] = None
+    stall_rate: float = 0.0
+    stall_epochs: int = 10
+    crashes: Tuple[DomainCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_fraction(self.drop_rate, "drop_rate")
+        check_non_negative(self.noise_std, "noise_std")
+        check_fraction(self.noise_rate, "noise_rate")
+        if self.llc_ref_cap is not None and self.llc_ref_cap < 0:
+            raise ValueError(f"llc_ref_cap must be >= 0, got {self.llc_ref_cap}")
+        check_fraction(self.stall_rate, "stall_rate")
+        if self.stall_epochs < 1:
+            raise ValueError(f"stall_epochs must be >= 1, got {self.stall_epochs}")
+        # Accept any iterable of crashes but store a tuple so the plan
+        # stays hashable and picklable.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        for crash in self.crashes:
+            if not isinstance(crash, DomainCrash):
+                raise TypeError(f"crashes must hold DomainCrash, got {crash!r}")
+
+    def is_null(self) -> bool:
+        """True when this plan cannot perturb a run in any way."""
+        return (
+            self.drop_rate == 0.0
+            and (self.noise_std == 0.0 or self.noise_rate == 0.0)
+            and self.llc_ref_cap is None
+            and self.stall_rate == 0.0
+            and not self.crashes
+        )
+
+
+#: Named plans for the CLI (``--faults PRESET``) and the fig9 sweep.
+FAULT_PRESETS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "drop25": FaultPlan(drop_rate=0.25),
+    "drop50": FaultPlan(drop_rate=0.50),
+    "drop100": FaultPlan(drop_rate=1.0),
+    "noisy": FaultPlan(noise_std=1.0),
+    "saturate": FaultPlan(llc_ref_cap=5e6),
+    "stall": FaultPlan(stall_rate=0.001, stall_epochs=20),
+    "crash": FaultPlan(crashes=(DomainCrash("vm2", at_time_s=2.0, downtime_s=1.0),)),
+    "chaos": FaultPlan(
+        drop_rate=0.3,
+        noise_std=0.8,
+        llc_ref_cap=5e6,
+        stall_rate=0.0005,
+        stall_epochs=20,
+        crashes=(DomainCrash("vm2", at_time_s=2.0, downtime_s=0.5),),
+    ),
+}
+
+
+def fault_preset(name: str) -> FaultPlan:
+    """Look up a preset plan by name (case-insensitive)."""
+    try:
+        return FAULT_PRESETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PRESETS))
+        raise ValueError(f"unknown fault preset {name!r}; known: {known}") from None

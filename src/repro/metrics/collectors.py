@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults.injector import FaultStats
 from repro.xen.domain import Domain
 from repro.xen.simulator import Machine
 
@@ -94,11 +95,18 @@ class MachineStats:
 
 @dataclass(frozen=True, slots=True)
 class RunSummary:
-    """Everything an experiment needs from one run."""
+    """Everything an experiment needs from one run.
+
+    ``fault_stats`` is None for fault-free runs and a
+    :class:`~repro.faults.injector.FaultStats` snapshot when the run
+    carried a fault plan, so experiments can report injected fault
+    pressure next to the metrics it perturbed.
+    """
 
     policy: str
     machine_stats: MachineStats
     domains: Dict[str, DomainStats]
+    fault_stats: Optional[FaultStats] = None
 
     def domain(self, name: str) -> DomainStats:
         """Stats for one domain, by name."""
@@ -148,4 +156,5 @@ def summarize(machine: Machine) -> RunSummary:
             overhead_s=dict(machine.overhead_s),
         ),
         domains={d.name: collect_domain(machine, d) for d in machine.domains},
+        fault_stats=machine.faults.stats() if machine.faults is not None else None,
     )

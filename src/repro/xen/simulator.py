@@ -21,9 +21,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hardware.cache import CacheModel
 from repro.hardware.memory import BYTES_PER_MISS, LatencySpec, MemorySystem
-from repro.hardware.pmu import PMU
+from repro.hardware.pmu import PMU, VcpuCounters
 from repro.hardware.topology import NUMATopology
 from repro.util.eventlog import EventLog
 from repro.util.rng import RngStreams
@@ -35,7 +37,26 @@ from repro.xen.memalloc import MemoryPlacement
 from repro.xen.pcpu import Pcpu
 from repro.xen.vcpu import Vcpu, VcpuState
 
-__all__ = ["SimConfig", "SimResult", "Machine"]
+__all__ = ["SimConfig", "SimResult", "SimulationTimeout", "Machine"]
+
+
+class SimulationTimeout(RuntimeError):
+    """A run exceeded its ``max_epochs`` hard cap.
+
+    ``max_time_s`` bounds *simulated* time; a misconfigured scenario
+    (tiny epoch, huge horizon) can still grind through an unbounded
+    number of epochs of wall-clock work.  The epoch cap converts that
+    into a loud, named failure instead of a hung grid cell.
+    """
+
+    def __init__(self, scenario: str, max_epochs: int, sim_time_s: float) -> None:
+        super().__init__(
+            f"scenario {scenario!r} exceeded max_epochs={max_epochs} "
+            f"(simulated {sim_time_s:.3f}s without finishing)"
+        )
+        self.scenario = scenario
+        self.max_epochs = max_epochs
+        self.sim_time_s = sim_time_s
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,9 +87,22 @@ class SimConfig:
         ``"vector"`` (default) runs epochs through the
         structure-of-arrays :class:`~repro.xen.engine.VectorEngine`;
         ``"reference"`` keeps the original dict-based loop.  Both
-        produce bitwise-identical simulated results; the reference
+        produce bitwise-identical simulated results — including fault
+        runs, whose hooks live above the engine layer; the reference
         path exists as the executable specification the vector engine
         is tested against.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`; its injector
+        draws from dedicated ``faults.*`` streams of the run seed, so
+        (seed, plan) replays bitwise and a zero-rate plan leaves the
+        run bit-for-bit unchanged.
+    max_epochs:
+        Hard cap on stepped epochs; exceeding it raises
+        :class:`SimulationTimeout`.  None (default) leaves only the
+        simulated-time limit.
+    label:
+        Human-readable scenario name used in error messages
+        (``SimulationTimeout``) and logs; cosmetic otherwise.
     """
 
     epoch_s: float = 1e-3
@@ -81,6 +115,9 @@ class SimConfig:
     pmu_collection_cost_s: float = 0.3e-6
     stop_on_finite_completion: bool = True
     engine: str = "vector"
+    faults: Optional[FaultPlan] = None
+    max_epochs: Optional[int] = None
+    label: str = ""
 
     def __post_init__(self) -> None:
         check_positive(self.epoch_s, "epoch_s")
@@ -94,6 +131,12 @@ class SimConfig:
             raise ValueError(
                 f"engine must be 'vector' or 'reference', got {self.engine!r}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+        if self.max_epochs is not None and self.max_epochs < 1:
+            raise ValueError(f"max_epochs must be >= 1, got {self.max_epochs}")
 
 
 @dataclass(slots=True)
@@ -158,6 +201,12 @@ class Machine:
         self.memsys = MemorySystem(topology, self.config.latency)
         self.pmu = PMU(topology.num_nodes, self.config.pmu_collection_cost_s)
         self.log = EventLog(enabled=self.config.log_events)
+        #: fault injector, or None when the run is fault-free
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self.config.faults, self.rng)
+            if self.config.faults is not None
+            else None
+        )
 
         self.domains: List[Domain] = []
         self._domains_by_name: Dict[str, Domain] = {}
@@ -294,6 +343,67 @@ class Machine:
             now, "migrate", vcpu=vcpu.name, to_pcpu=to_pcpu_id, cross=cross, reason=reason
         )
 
+    def read_pmu_window(self, vcpu_key: int) -> Optional[VcpuCounters]:
+        """Close a VCPU's sampling window through the fault layer.
+
+        Analyzers must read windows through this method rather than
+        ``pmu.end_window`` directly: an active fault plan may drop the
+        sample entirely (returns None), inject multiplicative counter
+        noise, or clamp saturated LLC counts.  The underlying window
+        restarts either way — lost telemetry is lost, as on hardware.
+        """
+        window = self.pmu.end_window(vcpu_key)
+        if self.faults is None:
+            return window
+        return self.faults.filter_window(vcpu_key, window, self)
+
+    def crash_domain(
+        self,
+        domain_name: str,
+        now: float,
+        downtime_s: float,
+        lose_progress: bool = True,
+    ) -> None:
+        """Crash a domain: every VCPU goes offline until the restart.
+
+        Running VCPUs are descheduled (through the normal context-switch
+        bookkeeping), queued ones leave their run queues, and all of
+        them block until ``now + downtime_s`` — the restart then rides
+        the ordinary wake path, so both engines replay it identically.
+        With ``lose_progress`` the guest rebooted: active workloads
+        restart from zero retired instructions.
+        """
+        if downtime_s <= 0:
+            raise ValueError(f"downtime_s must be > 0, got {downtime_s}")
+        domain = self.domain(domain_name)
+        restart = now + downtime_s
+        for vcpu in domain.vcpus:
+            if vcpu.state is VcpuState.DONE:
+                continue
+            if vcpu.state is VcpuState.RUNNING:
+                pcpu = self.pcpus[vcpu.pcpu]
+                assert pcpu.current is vcpu
+                pcpu.current = None
+                vcpu.stop_run(now)
+                self.context_switches += 1
+                self.policy.on_context_switch(pcpu, vcpu, None)
+            elif vcpu.state is VcpuState.RUNNABLE and vcpu.pcpu is not None:
+                self.pcpus[vcpu.pcpu].queue.remove(vcpu)
+            if not vcpu.workload.active:
+                continue  # idle guest VCPUs stay parked as they were
+            if lose_progress:
+                vcpu.workload.instructions_done = 0.0
+            vcpu.block_until(restart)
+            if self._engine is not None:
+                self._engine.push_wake(vcpu)
+        self.log.emit(
+            now,
+            "domain_crash",
+            domain=domain_name,
+            restart=restart,
+            lose_progress=lose_progress,
+        )
+
     def swap_in_stolen(self, pcpu: Pcpu, stolen: Vcpu, now: float) -> None:
         """Preempt ``pcpu``'s current VCPU in favour of a stolen one.
 
@@ -323,7 +433,14 @@ class Machine:
     def run(self, max_time_s: Optional[float] = None) -> SimResult:
         """Advance the simulation until completion or the time limit."""
         limit = max_time_s if max_time_s is not None else self.config.max_time_s
+        cap = self.config.max_epochs
         while self.time < limit - 1e-12:
+            if cap is not None and self.epoch_index >= cap:
+                raise SimulationTimeout(
+                    self.config.label or f"<{self.policy.name} machine>",
+                    cap,
+                    self.time,
+                )
             self._step_epoch()
             if self.config.stop_on_finite_completion and self._all_finite_done():
                 return SimResult(sim_time_s=self.time, completed=True, machine=self)
@@ -354,6 +471,12 @@ class Machine:
         now = self.time
         epoch = self.config.epoch_s
         engine = self._ensure_engine()
+
+        # 0. Fault injection: stalls and domain crashes fire at the
+        # epoch boundary, before wake processing, identically for both
+        # engines (crashed VCPUs restart through the normal wake path).
+        if self.faults is not None:
+            self.faults.begin_epoch(self, now)
 
         # 1. Credit tick (credits, preemption) and PMU refresh charges.
         if self.epoch_index % self._epochs_per_tick == 0:

@@ -123,3 +123,97 @@ class TestEndToEnd:
         machine.run()
         samples = PmuAnalyzer().analyze(machine)
         assert samples == []
+
+
+class TestStalenessAndConfidence:
+    def test_confidence_starts_optimistic(self):
+        """Telemetry is presumed working until evidence says otherwise."""
+        assert PmuAnalyzer().confidence(0) == 1.0
+        assert PmuAnalyzer().staleness(0) == 0
+
+    def test_missed_window_decays_confidence_and_grows_staleness(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(confidence_decay=0.5)
+        # Two empty periods: staleness climbs, confidence halves twice.
+        (s1,) = analyzer.analyze(machine)
+        (s2,) = analyzer.analyze(machine)
+        assert (s1.fresh, s2.fresh) == (False, False)
+        assert (s1.staleness, s2.staleness) == (1, 2)
+        assert analyzer.confidence(0) == pytest.approx(0.25)
+
+    def test_usable_window_resets_staleness_and_recovers_confidence(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(confidence_decay=0.5)
+        analyzer.analyze(machine)  # miss: confidence 0.5, staleness 1
+        charge(machine, 0, 1e6, 25e3, [1.0, 0.0])
+        (sample,) = analyzer.analyze(machine)
+        assert sample.fresh
+        assert analyzer.staleness(0) == 0
+        assert analyzer.confidence(0) == pytest.approx(0.75)
+
+    def test_stale_sample_carries_previous_fields(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer()
+        charge(machine, 0, 1e6, 25e3, [0.0, 1.0])
+        analyzer.analyze(machine)
+        (stale,) = analyzer.analyze(machine)
+        assert not stale.fresh
+        assert stale.llc_pressure == pytest.approx(25.0)
+        assert stale.node_affinity == 1
+        assert stale.vcpu_type is VcpuType.LLC_T
+
+    @pytest.mark.parametrize("decay", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_decay_rejected(self, decay):
+        with pytest.raises(ValueError):
+            PmuAnalyzer(confidence_decay=decay)
+
+
+class TestPlausibilityRejection:
+    def test_impossible_instruction_count_rejected(self):
+        """No VCPU can retire more than period * clock / CPI_base."""
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(reject_implausible=True)
+        charge(machine, 0, 1e18, 25e9, [0.2, 0.8])
+        (sample,) = analyzer.analyze(machine)
+        assert analyzer.samples_rejected == 1
+        assert not sample.fresh
+        assert analyzer.staleness(0) == 1
+
+    def test_rejection_keeps_scale_invariant_affinity(self):
+        """Multiplicative corruption cannot forge an argmax: the Eq. 1
+        affinity of a rejected window is still applied."""
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(reject_implausible=True)
+        charge(machine, 0, 1e18, 25e9, [0.2, 0.8])
+        analyzer.analyze(machine)
+        assert machine.vcpus[0].node_affinity == 1
+
+    def test_absurd_pressure_rejected(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(reject_implausible=True)
+        # 200 refs per kilo-instruction: 10x the thrashing bound.
+        charge(machine, 0, 1e6, 200e3, [1.0, 0.0])
+        analyzer.analyze(machine)
+        assert analyzer.samples_rejected == 1
+        assert machine.vcpus[0].llc_pressure != pytest.approx(200.0)
+
+    def test_healthy_window_accepted(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer(reject_implausible=True)
+        charge(machine, 0, 1e6, 25e3, [1.0, 0.0])
+        (sample,) = analyzer.analyze(machine)
+        assert sample.fresh
+        assert analyzer.samples_rejected == 0
+        assert machine.vcpus[0].llc_pressure == pytest.approx(25.0)
+
+    def test_filter_off_by_default(self):
+        machine = machine_with_vcpu(synthetic_profile("llc-t"))
+        analyzer = PmuAnalyzer()
+        charge(machine, 0, 1e18, 25e9, [1.0, 0.0])
+        (sample,) = analyzer.analyze(machine)
+        assert sample.fresh
+        assert analyzer.samples_rejected == 0
+
+    def test_invalid_pressure_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            PmuAnalyzer(reject_implausible=True, max_plausible_pressure=0.0)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.classify import Bounds, classify, llc_access_pressure
+from repro.core.classify import Bounds, TypeHysteresis, classify, llc_access_pressure
 from repro.xen.vcpu import VcpuType
 
 
@@ -91,3 +91,59 @@ class TestClassify:
             assert bounds.low <= pressure < bounds.high
         else:
             assert pressure >= bounds.high
+
+
+class TestTypeHysteresis:
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            TypeHysteresis(0)
+
+    def test_windows_1_commits_every_sample(self):
+        hyst = TypeHysteresis(1)
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_T
+        assert hyst.update(0, VcpuType.LLC_T, VcpuType.LLC_FI) is VcpuType.LLC_FI
+
+    def test_first_sample_commits_immediately(self):
+        """The synthetic birth type is not worth defending: the first
+        real observation always wins, whatever ``windows`` says."""
+        hyst = TypeHysteresis(3)
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_T
+
+    def test_switch_needs_consecutive_agreeing_windows(self):
+        hyst = TypeHysteresis(3)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)  # first observation
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_FR
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_FR
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_T
+
+    def test_single_corrupted_sample_cannot_flip(self):
+        hyst = TypeHysteresis(2)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_FR
+        # The next clean sample clears the pending switch entirely.
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR) is VcpuType.LLC_FR
+        assert hyst.pending(0) is None
+
+    def test_disagreeing_candidate_restarts_streak(self):
+        hyst = TypeHysteresis(2)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_FR
+        # A different raw class restarts the count at 1, not 2.
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FR
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FI
+
+    def test_keys_are_independent(self):
+        hyst = TypeHysteresis(2)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        hyst.update(1, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T)
+        assert hyst.pending(0) is not None
+        assert hyst.pending(1) is None
+
+    def test_reset_forgets_key(self):
+        hyst = TypeHysteresis(3)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T)
+        hyst.reset(0)
+        # Forgotten key behaves like a brand new one: immediate commit.
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FI

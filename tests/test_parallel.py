@@ -5,11 +5,17 @@ results (each cell is an independent seeded simulation), identical
 ordering, identical aggregation — only the wall clock changes.
 """
 
+import os
 from functools import partial
 
 import pytest
 
-from repro.experiments.parallel import ParallelRunner, default_jobs
+from repro.experiments.parallel import (
+    ParallelExecutionError,
+    ParallelRunner,
+    cell_name,
+    default_jobs,
+)
 from repro.experiments.runner import compare, compare_mean
 from repro.experiments.scenarios import ScenarioConfig, solo_scenario
 
@@ -57,3 +63,70 @@ class TestParallelRunner:
             CFG, workloads=("lu", "sp"), schedulers=("credit", "vprobe"), jobs=4
         )
         assert serial == parallel
+
+
+def _crashing_builder(policy, cfg):
+    """Kills the worker process the first time it runs in a pool.
+
+    ``os._exit`` bypasses the executor's exception channel entirely,
+    which is exactly how a segfaulting worker looks to the parent:
+    the whole pool breaks.  In the parent (serial retry) it behaves.
+    """
+    import multiprocessing
+    import os
+
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return solo_scenario("lu", policy, cfg)
+
+
+def _failing_builder(policy, cfg):
+    raise RuntimeError("scenario cannot be built")
+
+
+class TestCrashRecovery:
+    def test_worker_crash_recovered_by_serial_retry(self):
+        cells = [
+            (_crashing_builder, name, CFG) for name in ("credit", "vprobe")
+        ]
+        runner = ParallelRunner(2)
+        results = runner.run_cells(cells)
+        assert runner.retried_cells  # the crash did not pass silently
+        clean = ParallelRunner(1).run_cells(
+            [(BUILDER, name, CFG) for name in ("credit", "vprobe")]
+        )
+        assert results == clean
+
+    def test_persistent_failure_aggregates_cell_names(self):
+        cells = [
+            (_failing_builder, name, CFG) for name in ("credit", "vprobe")
+        ]
+        with pytest.raises(ParallelExecutionError) as err:
+            ParallelRunner(2).run_cells(cells)
+        assert len(err.value.failures) == 2
+        assert "_failing_builder/credit/seed=0" in err.value.failures
+        assert "scenario cannot be built" in str(err.value)
+
+    def test_clean_parallel_run_reports_no_retries(self):
+        runner = ParallelRunner(2)
+        runner.run_cells([(BUILDER, name, CFG) for name in ("credit", "vprobe")])
+        assert runner.retried_cells == []
+
+
+class TestDefaultJobs:
+    def test_respects_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        assert default_jobs() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert default_jobs() == 6
+
+
+class TestCellName:
+    def test_unwraps_partials(self):
+        assert cell_name((BUILDER, "credit", CFG)) == "solo_scenario(lu)/credit/seed=0"
+
+    def test_plain_function(self):
+        assert cell_name((_failing_builder, "lb", CFG)) == "_failing_builder/lb/seed=0"

@@ -137,3 +137,27 @@ class TestPairing:
         a = spec_scenario("soplex", make_scheduler("credit"), CFG)
         b = spec_scenario("soplex", make_scheduler("vprobe"), CFG)
         assert [v.pcpu for v in a.vcpus] == [v.pcpu for v in b.vcpus]
+
+
+class TestEpochCap:
+    def test_timeout_names_the_scenario(self):
+        from repro.xen.simulator import SimulationTimeout
+
+        cfg = ScenarioConfig(
+            work_scale=0.05, seed=0, max_epochs=10, label="tiny mix"
+        )
+        machine = mix_scenario(make_scheduler("credit"), cfg)
+        with pytest.raises(SimulationTimeout, match="tiny mix") as err:
+            machine.run()
+        assert err.value.max_epochs == 10
+        assert err.value.sim_time_s > 0
+
+    def test_generous_cap_does_not_fire(self):
+        cfg = ScenarioConfig(work_scale=0.02, seed=0, max_epochs=100_000)
+        machine = mix_scenario(make_scheduler("credit"), cfg)
+        machine.run()  # completes normally
+
+    def test_invalid_cap_rejected(self):
+        cfg = ScenarioConfig(work_scale=0.05, max_epochs=0)
+        with pytest.raises(ValueError, match="max_epochs"):
+            mix_scenario(make_scheduler("credit"), cfg)
