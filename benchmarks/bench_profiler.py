@@ -1,0 +1,118 @@
+"""Benchmark guard for the always-on phase profiler.
+
+The profiler's contract (see :mod:`repro.obs.profiler`) is that it is
+cheap enough to leave enabled everywhere: two ``perf_counter_ns`` reads
+and one dict update per span.  A naive A/B wall-clock comparison of a
+profiled vs unprofiled run cannot resolve a ~1% effect on a shared
+host (run-to-run noise is several percent), so the guard measures the
+two stable quantities instead and multiplies them:
+
+* **span cost** — a tight loop of ``start()``/``stop()`` pairs (and of
+  ``count()`` bumps), which times the profiler itself to a few ns;
+* **span rate** — how many spans one steady-state epoch actually
+  records, read off the profiler's own call counters (deterministic).
+
+Their product, as a fraction of the measured epoch cost, is the
+always-on overhead; the test pins it below 3 % and writes the numbers
+to ``benchmarks/BENCH_profiler.json``.  Like ``test_engine_speedup``
+it times with ``time.perf_counter`` directly so it still runs under
+``--benchmark-disable``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.experiments import ScenarioConfig, make_scheduler, spec_scenario
+from repro.obs.profiler import PhaseProfiler
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_profiler.json"
+
+#: Allowed always-on profiling overhead on the epoch microbench.
+MAX_OVERHEAD_FRACTION = 0.03
+
+
+def _steady_machine():
+    """A warmed-up vector-engine machine (past initial placement)."""
+    cfg = ScenarioConfig(work_scale=1.0, seed=0, label="bench profiler")
+    machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
+    machine.run(max_time_s=0.05)
+    return machine
+
+
+def _us_per_epoch(machine, epochs: int) -> float:
+    """Wall time of ``epochs`` steady-state steps, in us/epoch."""
+    step = machine._step_epoch
+    start = time.perf_counter()
+    for _ in range(epochs):
+        step()
+    return (time.perf_counter() - start) / epochs * 1e6
+
+
+def _span_cost_us(iterations: int = 200_000) -> float:
+    """Cost of one start/stop pair on a steady-state phase, in us."""
+    prof = PhaseProfiler()
+    prof.stop("calibration", prof.start())  # first hit allocates the slot
+    start = time.perf_counter()
+    for _ in range(iterations):
+        prof.stop("calibration", prof.start())
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+def _count_cost_us(iterations: int = 200_000) -> float:
+    """Cost of one ``count()`` bump, in us."""
+    prof = PhaseProfiler()
+    prof.count("calibration")
+    start = time.perf_counter()
+    for _ in range(iterations):
+        prof.count("calibration")
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+def test_profiler_overhead_under_3pct():
+    """Always-on profiling costs < 3% of the steady-state epoch loop."""
+    rounds = 3
+    epochs = 2000
+    machine = _steady_machine()
+    prof = machine.profiler
+    _us_per_epoch(machine, 200)  # warm allocator and branch caches
+
+    prof.clear()
+    epoch_us = float("inf")
+    for _ in range(rounds):
+        epoch_us = min(epoch_us, _us_per_epoch(machine, epochs))
+    total_epochs = rounds * epochs
+    spans_per_epoch = sum(s.calls for s in prof.snapshot().values()) / total_epochs
+    counts_per_epoch = sum(prof.counters().values()) / total_epochs
+
+    span_us = min(_span_cost_us() for _ in range(rounds))
+    count_us = min(_count_cost_us() for _ in range(rounds))
+    overhead_us = spans_per_epoch * span_us + counts_per_epoch * count_us
+    overhead = overhead_us / epoch_us
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "scenario": "spec soplex, 24 VCPUs / 8 PCPUs, vprobe, vector engine",
+                "epochs": total_epochs,
+                "epoch_us": round(epoch_us, 2),
+                "span_cost_us": round(span_us, 4),
+                "count_cost_us": round(count_us, 4),
+                "spans_per_epoch": round(spans_per_epoch, 3),
+                "counts_per_epoch": round(counts_per_epoch, 3),
+                "overhead_us_per_epoch": round(overhead_us, 3),
+                "overhead_fraction": round(overhead, 5),
+                "budget_fraction": MAX_OVERHEAD_FRACTION,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"always-on profiling costs {overhead * 100.0:.2f}% of the epoch "
+        f"loop ({overhead_us:.2f} of {epoch_us:.2f} us/epoch: "
+        f"{spans_per_epoch:.1f} spans x {span_us:.3f} us + "
+        f"{counts_per_epoch:.1f} counts x {count_us:.3f} us); "
+        f"budget is {MAX_OVERHEAD_FRACTION * 100.0:.0f}%"
+    )

@@ -34,11 +34,11 @@ def main() -> None:
         trace = trace_for(app, scheduler)
         ratios = trace.window_remote_ratio("vm1")
         rates = trace.window_migration_rate()
-        imbalance = trace.node_imbalance()[1:]
+        imbalance = trace.node_imbalance()
         rows = [
             (
                 f"{trace.times()[i]:.1f}-{trace.times()[i + 1]:.1f}",
-                ratios[i] * 100.0,
+                "idle" if ratios[i] is None else ratios[i] * 100.0,
                 rates[i],
                 imbalance[i] if i < len(imbalance) else 0,
             )

@@ -54,8 +54,16 @@ from repro.core import (
 from repro.baselines import BRMScheduler
 from repro.metrics import RunSummary, summarize
 from repro.experiments import make_scheduler, quick_comparison
+from repro.obs import (
+    PhaseProfiler,
+    PhaseStat,
+    diff_traces,
+    read_trace,
+    validate_trace_file,
+    write_trace,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -96,4 +104,11 @@ __all__ = [
     "summarize",
     "make_scheduler",
     "quick_comparison",
+    # observability
+    "PhaseProfiler",
+    "PhaseStat",
+    "write_trace",
+    "read_trace",
+    "diff_traces",
+    "validate_trace_file",
 ]

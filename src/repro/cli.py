@@ -20,6 +20,20 @@ Commands
     ``python -m repro.experiments.report_all``)::
 
         python -m repro report results/ --fast
+
+``trace``
+    Run one workload and export the full JSONL trace (manifest, event
+    stream, window snapshots, end-of-run summary) plus the scheduler
+    phase profile::
+
+        python -m repro trace soplex --out run.jsonl
+        python -m repro trace mcf --out run.jsonl --scheduler vprobe --engine reference
+
+``validate``
+    Check trace files (``.jsonl``) and report files (``.json``)
+    against the shipped schemas; exits non-zero on any error::
+
+        python -m repro validate run.jsonl compare.json
 """
 
 from __future__ import annotations
@@ -84,6 +98,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes (one scheduler run per cell; 1 = serial)",
     )
+    cmp_p.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT",
+        help="also write the comparison as a schema-versioned JSON report",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="run one workload and export its JSONL trace"
+    )
+    trace_p.add_argument("app", help=f"one of: {', '.join(profile_names())}")
+    trace_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("run.jsonl"),
+        help="trace output path (JSONL)",
+    )
+    trace_p.add_argument(
+        "--scheduler",
+        default="vprobe",
+        choices=list(SCHEDULER_NAMES) + ["vprobe-h"],
+    )
+    trace_p.add_argument("--work-scale", type=float, default=0.15)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument(
+        "--interval", type=float, default=0.25, help="snapshot interval (s)"
+    )
+    trace_p.add_argument(
+        "--engine",
+        default="vector",
+        choices=["vector", "reference"],
+        help="simulator engine (traces are byte-identical across both)",
+    )
+    trace_p.add_argument(
+        "--faults",
+        choices=sorted(FAULT_PRESETS),
+        default=None,
+        metavar="PRESET",
+        help="inject a named fault preset",
+    )
+
+    val_p = sub.add_parser(
+        "validate", help="validate trace (.jsonl) / report (.json) files"
+    )
+    val_p.add_argument("files", nargs="+", type=pathlib.Path)
 
     solo_p = sub.add_parser("solo", help="solo calibration run (Fig. 3)")
     solo_p.add_argument("app")
@@ -161,7 +221,85 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"\nvprobe improvement over {baseline}: "
             f"{improvement_pct(results['vprobe'].domain('vm1').mean_finish_time_s, base_time):.1f}%"
         )
+    if args.json is not None:
+        from repro.experiments.jsonreport import dump_report, report
+
+        envelope = report(
+            "compare",
+            {
+                "app": args.app,
+                "baseline": baseline,
+                "schedulers": list(args.schedulers),
+                "work_scale": args.work_scale,
+                "seed": args.seed,
+                "sample_period_s": args.sample_period,
+                "faults": args.faults,
+                "summaries": {
+                    name: summary.to_dict() for name, summary in results.items()
+                },
+            },
+        )
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(dump_report(envelope) + "\n")
+        print(f"\nJSON report written to {args.json}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import make_scheduler
+    from repro.metrics.timeseries import trace_run
+    from repro.obs.trace import write_trace
+
+    plan = fault_preset(args.faults) if args.faults else None
+    cfg = ScenarioConfig(
+        work_scale=args.work_scale,
+        seed=args.seed,
+        log_events=True,
+        engine=args.engine,
+        faults=None if plan is None or plan.is_null() else plan,
+        label=f"trace {args.app}",
+    )
+    if args.app in NPB_PROFILES:
+        builder = partial(npb_scenario, args.app)
+    else:
+        builder = partial(spec_scenario, args.app)
+    machine = builder(make_scheduler(args.scheduler), cfg)
+    trace = trace_run(machine, interval_s=args.interval)
+    lines = write_trace(machine, args.out, trace=trace, scenario=args.app)
+    print(
+        f"wrote {lines} trace lines to {args.out} "
+        f"({len(machine.log)} events, {len(trace)} snapshots)"
+    )
+    if machine.profiler.enabled:
+        print("\nscheduler phase profile (host wall-clock)")
+        print(machine.profiler.format())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.schema import validate_report, validate_trace_file
+
+    failures = 0
+    for path in args.files:
+        if path.suffix == ".jsonl":
+            errors = validate_trace_file(path)
+        else:
+            try:
+                obj = _json.loads(path.read_text())
+            except (OSError, _json.JSONDecodeError) as exc:
+                errors = [str(exc)]
+            else:
+                errors = validate_report(obj)
+        if errors:
+            failures += 1
+            print(f"{path}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
 
 
 def _cmd_solo(args: argparse.Namespace) -> int:
@@ -191,6 +329,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     if args.command == "solo":
         return _cmd_solo(args)
     if args.command == "report":

@@ -48,7 +48,6 @@ def numa_aware_steal(
     machine: "Machine",
     pcpu: Pcpu,
     now: float,
-    under_only: bool = False,
     pressure_of: Optional[Callable[[Vcpu], float]] = None,
 ) -> Optional[Vcpu]:
     """Algorithm 2: pick a VCPU for a PCPU that needs work.
@@ -57,12 +56,12 @@ def numa_aware_steal(
     goes idle, or when its best local candidate has OVER priority.
     Unlike Credit, Algorithm 2 places no priority condition on the
     victim — line 4 of the paper's pseudocode considers *all* runnable
-    VCPUs and picks the smallest LLC pressure.  That asymmetry is the
-    mechanism's point: when a steal must cross nodes, a cache-light
-    (usually CPU-bound, credit-hungry, hence OVER) VCPU moves instead
-    of a memory-intensive UNDER one, so the partitioner's placement
-    survives between sampling periods.  ``under_only`` is accepted for
-    interface compatibility and ignored.
+    VCPUs and picks the smallest LLC pressure (on a tie, the earliest
+    in the victim queue's order wins — ``min`` keeps the first).  That
+    asymmetry is the mechanism's point: when a steal must cross nodes,
+    a cache-light (usually CPU-bound, credit-hungry, hence OVER) VCPU
+    moves instead of a memory-intensive UNDER one, so the partitioner's
+    placement survives between sampling periods.
 
     Returns the chosen VCPU already removed from its victim queue (the
     machine completes the migration bookkeeping), or None when no
@@ -73,7 +72,6 @@ def numa_aware_steal(
     vProbe substitutes 0 for VCPUs whose telemetry it no longer
     trusts, so stale pressure readings cannot pin a VCPU in place.
     """
-    del under_only  # Algorithm 2 ranks by pressure, not credit priority.
     if pressure_of is None:
         pressure_of = _recorded_pressure
     hot_window = machine.policy.params.cache_hot_s
@@ -109,15 +107,14 @@ def _scan_nodes(machine, pcpu, now, only_cold, hot_window, pressure_of):
             if not candidates:
                 continue
             vcpu = min(candidates, key=pressure_of)
-            if vcpu is not None:
-                victim.queue.remove(vcpu)
-                machine.log.emit(
-                    now,
-                    "numa_steal",
-                    vcpu=vcpu.name,
-                    thief=pcpu.pcpu_id,
-                    victim=victim.pcpu_id,
-                    local=victim.node == pcpu.node,
-                )
-                return vcpu
+            victim.queue.remove(vcpu)
+            machine.log.emit(
+                now,
+                "numa_steal",
+                vcpu=vcpu.name,
+                thief=pcpu.pcpu_id,
+                victim=victim.pcpu_id,
+                local=victim.node == pcpu.node,
+            )
+            return vcpu
     return None

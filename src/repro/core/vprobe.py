@@ -201,14 +201,18 @@ class VProbeScheduler(CreditScheduler):
     def on_sample_period(self, now: float) -> None:
         machine = self.machine
         assert machine is not None
+        profiler = machine.profiler
 
+        t0 = profiler.start()
         samples = self.analyzer.analyze(machine)
 
         if self._dynamic is not None:
             pressures = [s.llc_pressure for s in samples if s.instructions > 0]
             self.analyzer.bounds = self._dynamic.update(pressures)
+        profiler.stop("analyzer", t0)
 
         if self.vparams.enable_partition:
+            t0 = profiler.start()
             eligible = None
             if self.vparams.min_confidence > 0.0:
                 eligible = self.trusted
@@ -226,6 +230,7 @@ class VProbeScheduler(CreditScheduler):
 
             if self.vparams.page_migration:
                 self._migrate_pages(machine, now, decisions)
+            profiler.stop("partition", t0)
 
     def _migrate_pages(self, machine, now: float, decisions) -> None:
         """§VI combined strategy: pull forced-remote VCPUs' pages local.
@@ -267,15 +272,16 @@ class VProbeScheduler(CreditScheduler):
     # Idle stealing: Algorithm 2
     # ------------------------------------------------------------------
     def steal(self, pcpu: Pcpu, now: float, under_only: bool = False) -> Optional[Vcpu]:
+        # ``under_only`` stays in the policy interface (the machine's
+        # call sites pass it, and Credit's balancer honours it) but
+        # Algorithm 2 ranks by pressure, not credit priority.
         machine = self.machine
         assert machine is not None
         if self.vparams.enable_numa_lb:
             pressure_of = None
             if self.vparams.min_confidence > 0.0:
                 pressure_of = self._gated_pressure
-            return numa_aware_steal(
-                machine, pcpu, now, under_only=under_only, pressure_of=pressure_of
-            )
+            return numa_aware_steal(machine, pcpu, now, pressure_of=pressure_of)
         return super().steal(pcpu, now, under_only=under_only)
 
     def _gated_pressure(self, vcpu: Vcpu) -> float:

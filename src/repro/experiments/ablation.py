@@ -54,6 +54,18 @@ class AblationResult:
             ["variant", "mix runtime (s)", "remote (%)"], rows, float_fmt="{:.3f}"
         )
 
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        return report(
+            "ablation",
+            {
+                "runtime_s": dict(self.runtime_s),
+                "remote_ratio": dict(self.remote_ratio),
+            },
+        )
+
 
 def _run_variant(policy: VProbeScheduler, cfg: ScenarioConfig):
     machine = mix_scenario(policy, cfg)

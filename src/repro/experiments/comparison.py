@@ -136,6 +136,46 @@ class ComparisonResult:
             )
         )
 
+    def to_payload(self) -> dict:
+        """The grid as a JSON-ready payload (raw cells + panels)."""
+        panels = {
+            metric: {
+                w: {s: fn(w, s) for s in self.schedulers} for w in self.workloads
+            }
+            for metric, fn in (
+                ("time", self.norm_exec_time),
+                ("total", self.norm_total_accesses),
+                ("remote", self.norm_remote_accesses),
+            )
+        }
+        return {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "schedulers": list(self.schedulers),
+            "baseline": self.baseline,
+            "cells": [
+                {
+                    "workload": c.workload,
+                    "scheduler": c.scheduler,
+                    "exec_time_s": c.exec_time_s,
+                    "total_accesses": c.total_accesses,
+                    "remote_accesses": c.remote_accesses,
+                    "instructions": c.instructions,
+                    "migrations": c.migrations,
+                    "cross_node_migrations": c.cross_node_migrations,
+                    "overhead_fraction": c.overhead_fraction,
+                }
+                for (_, _), c in sorted(self.cells.items())
+            ],
+            "normalized": panels,
+        }
+
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        return report("comparison", self.to_payload())
+
 
 def run_grid(
     name: str,

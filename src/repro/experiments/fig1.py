@@ -55,6 +55,15 @@ class Fig1Result:
             ["application", "remote accesses (%)"], rows, float_fmt="{:.1f}"
         )
 
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        return report(
+            "fig1",
+            {"scheduler": self.scheduler, "remote_ratio": dict(self.remote_ratio)},
+        )
+
 
 def run(
     cfg: Optional[ScenarioConfig] = None,

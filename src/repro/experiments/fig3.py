@@ -90,6 +90,27 @@ class Fig3Result:
                 return r
         raise KeyError(f"no row for {app!r}")
 
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        return report(
+            "fig3",
+            {
+                "bounds": {"low": self.bounds.low, "high": self.bounds.high},
+                "rows": [
+                    {
+                        "app": r.app,
+                        "miss_rate": r.miss_rate,
+                        "rpti": r.rpti,
+                        "vcpu_type": r.vcpu_type.value,
+                        "paper_rpti": r.paper_rpti,
+                    }
+                    for r in self.rows
+                ],
+            },
+        )
+
 
 def run(
     cfg: Optional[ScenarioConfig] = None,

@@ -62,6 +62,17 @@ class Fig7Result:
             )
         )
 
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        payload = self.grid.to_payload()
+        payload["throughput_ops"] = {
+            w: {s: self.throughput(w, s) for s in self.grid.schedulers}
+            for w in self.grid.workloads
+        }
+        return report("fig7", payload)
+
 
 def points(connections: Sequence[int] = FIG7_CONNECTIONS) -> list[WorkloadPoint]:
     """Workload points for the Fig. 7 sweep."""

@@ -53,6 +53,20 @@ class Fig8Result:
             ["sampling period (s)", "mix runtime (s)"], rows, float_fmt="{:.3f}"
         )
 
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        return report(
+            "fig8",
+            {
+                "scheduler": self.scheduler,
+                "periods": list(self.periods),
+                "runtime_s": list(self.runtime_s),
+                "best_period": self.best_period(),
+            },
+        )
+
 
 def run(
     cfg: Optional[ScenarioConfig] = None,

@@ -101,6 +101,21 @@ class Fig9Result:
         table = format_table(headers, rows, float_fmt="{:.3f}")
         return f"{table}\n(mean over {self.seeds} seeds per point)"
 
+    def to_json(self) -> dict:
+        """Schema-versioned machine-readable result."""
+        from repro.experiments.jsonreport import report
+
+        return report(
+            "fig9",
+            {
+                "rates": list(self.rates),
+                "schedulers": list(self.schedulers),
+                "seeds": self.seeds,
+                "runtime_s": {s: list(t) for s, t in self.runtime_s.items()},
+                "fault_events": {s: list(t) for s, t in self.fault_events.items()},
+            },
+        )
+
 
 def run(
     cfg: Optional[ScenarioConfig] = None,

@@ -1,0 +1,48 @@
+"""Machine-readable report envelopes for the experiment modules.
+
+Every ``to_json()`` across ``experiments/`` returns the same
+schema-versioned wrapper::
+
+    {"schema": "repro.report/v1", "kind": "fig4", "payload": {...}}
+
+so downstream tooling (CI validation, run diffing, plotting scripts)
+can dispatch on ``kind`` without knowing each figure's shape, and
+:func:`repro.obs.schema.validate_report` can check any of them.
+
+Payloads are sanitized for strict JSON on the way in: non-finite
+floats (the ``float("nan")`` that marks an unfinished workload's
+runtime) become ``null``, and tuples become lists.  ``json.dumps``
+would otherwise emit bare ``NaN`` — accepted by Python, rejected by
+every strict parser.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from repro.obs.schema import REPORT_SCHEMA
+
+__all__ = ["report", "dump_report"]
+
+
+def _clean(obj: Any) -> Any:
+    """Make ``obj`` strictly JSON-serializable (NaN/inf -> null)."""
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {str(k): _clean(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_clean(v) for v in obj]
+    return obj
+
+
+def report(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a payload in the versioned report envelope."""
+    return {"schema": REPORT_SCHEMA, "kind": kind, "payload": _clean(payload)}
+
+
+def dump_report(envelope: Dict[str, Any]) -> str:
+    """Render an envelope as stable, human-diffable JSON text."""
+    return json.dumps(envelope, indent=2, sort_keys=True, allow_nan=False)

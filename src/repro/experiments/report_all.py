@@ -38,42 +38,40 @@ from repro.experiments import (
 __all__ = ["regenerate_all", "main"]
 
 
-def _jobs(fast: bool, jobs: int = 1) -> Tuple[Tuple[str, Callable[[], str]], ...]:
+def _jobs(fast: bool, jobs: int = 1) -> Tuple[Tuple[str, Callable[[], object]], ...]:
     scale = 0.05 if fast else 0.18
     svc_scale = 0.04 if fast else 0.1
     cfg = lambda ws, seed: ScenarioConfig(work_scale=ws, seed=seed)
     return (
-        ("fig1_remote_ratios", lambda: fig1.run(cfg(scale * 0.8, 0)).format()),
-        ("fig3_llc_missrate_rpti", lambda: fig3.run(cfg(0.05, 0)).format()),
-        ("fig4_spec_cpu2006", lambda: fig4.run(cfg(scale, 1), jobs=jobs).format()),
-        ("fig5_npb", lambda: fig5.run(cfg(scale, 2), jobs=jobs).format()),
+        ("fig1_remote_ratios", lambda: fig1.run(cfg(scale * 0.8, 0))),
+        ("fig3_llc_missrate_rpti", lambda: fig3.run(cfg(0.05, 0))),
+        ("fig4_spec_cpu2006", lambda: fig4.run(cfg(scale, 1), jobs=jobs)),
+        ("fig5_npb", lambda: fig5.run(cfg(scale, 2), jobs=jobs)),
         (
             "fig6_memcached",
             lambda: fig6.run(
                 cfg(svc_scale, 3), concurrencies=(16, 48, 80, 112), jobs=jobs
-            ).format(),
+            ),
         ),
         (
             "fig7_redis",
             lambda: fig7.run(
                 cfg(scale, 4), connections=(2000, 6000, 10000), jobs=jobs
-            ).format(),
+            ),
         ),
-        ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0)).format()),
+        ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0))),
         (
             "fig9_fault_degradation",
-            lambda: fig9_faults.run(
-                cfg(scale, 0), seeds=3 if fast else 5, jobs=jobs
-            ).format(),
+            lambda: fig9_faults.run(cfg(scale, 0), seeds=3 if fast else 5, jobs=jobs),
         ),
-        ("table3_overhead", lambda: table3.run(cfg(scale, 0)).format()),
+        ("table3_overhead", lambda: table3.run(cfg(scale, 0))),
         (
             "ablation_dynamic_bounds",
-            lambda: ablation.run_bounds_ablation(cfg(scale, 5)).format(),
+            lambda: ablation.run_bounds_ablation(cfg(scale, 5)),
         ),
         (
             "ablation_page_migration",
-            lambda: ablation.run_page_migration_ablation(cfg(scale, 5)).format(),
+            lambda: ablation.run_page_migration_ablation(cfg(scale, 5)),
         ),
     )
 
@@ -84,20 +82,26 @@ def regenerate_all(
     only: "tuple[str, ...] | None" = None,
     jobs: int = 1,
 ) -> None:
-    """Run every experiment and write one .txt per table/figure.
+    """Run every experiment; write one .txt and one .json per result.
 
+    The ``.txt`` is the rendered table (unchanged); the ``.json`` is
+    the schema-versioned ``to_json()`` envelope for machine consumers.
     ``only`` optionally restricts to jobs whose name starts with one of
     the given prefixes (used by smoke tests).  ``jobs > 1`` fans each
     comparison grid's cells across worker processes.
     """
+    from repro.experiments.jsonreport import dump_report
+
     outdir.mkdir(parents=True, exist_ok=True)
     for name, job in _jobs(fast, jobs):
         if only is not None and not any(name.startswith(p) for p in only):
             continue
         start = time.perf_counter()
-        text = job()
+        result = job()
         elapsed = time.perf_counter() - start
+        text = result.format()
         (outdir / f"{name}.txt").write_text(text + "\n")
+        (outdir / f"{name}.json").write_text(dump_report(result.to_json()) + "\n")
         print(f"[{elapsed:7.1f}s] {name}")
         print(text)
         print()

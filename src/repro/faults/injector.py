@@ -67,6 +67,17 @@ class FaultStats:
             + self.domain_crashes
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (derived total included)."""
+        return {
+            "samples_dropped": self.samples_dropped,
+            "samples_noisy": self.samples_noisy,
+            "windows_saturated": self.windows_saturated,
+            "stalls_injected": self.stalls_injected,
+            "domain_crashes": self.domain_crashes,
+            "total_events": self.total_events,
+        }
+
 
 class FaultInjector:
     """Applies a :class:`FaultPlan` to one machine, deterministically.

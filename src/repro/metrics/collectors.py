@@ -12,9 +12,10 @@ the per-source overhead budget behind Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.faults.injector import FaultStats
+from repro.obs.profiler import PhaseStat
 from repro.xen.domain import Domain
 from repro.xen.simulator import Machine
 
@@ -66,6 +67,25 @@ class DomainStats:
         ops = self.instructions / instr_per_op
         return ops / self.mean_finish_time_s
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (derived metrics included)."""
+        return {
+            "name": self.name,
+            "num_vcpus": self.num_vcpus,
+            "mean_finish_time_s": self.mean_finish_time_s,
+            "instructions": self.instructions,
+            "llc_refs": self.llc_refs,
+            "llc_misses": self.llc_misses,
+            "local_accesses": self.local_accesses,
+            "remote_accesses": self.remote_accesses,
+            "migrations": self.migrations,
+            "cross_node_migrations": self.cross_node_migrations,
+            "total_accesses": self.total_accesses,
+            "remote_ratio": self.remote_ratio,
+            "llc_miss_rate": self.llc_miss_rate,
+            "rpti": self.rpti,
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class MachineStats:
@@ -92,6 +112,21 @@ class MachineStats:
             return 0.0
         return self.total_overhead_s / self.busy_time_s
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (derived overhead totals included)."""
+        return {
+            "sim_time_s": self.sim_time_s,
+            "busy_time_s": self.busy_time_s,
+            "context_switches": self.context_switches,
+            "migrations": self.migrations,
+            "cross_node_migrations": self.cross_node_migrations,
+            "steals_local": self.steals_local,
+            "steals_remote": self.steals_remote,
+            "overhead_s": dict(self.overhead_s),
+            "total_overhead_s": self.total_overhead_s,
+            "overhead_fraction": self.overhead_fraction,
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class RunSummary:
@@ -101,16 +136,46 @@ class RunSummary:
     :class:`~repro.faults.injector.FaultStats` snapshot when the run
     carried a fault plan, so experiments can report injected fault
     pressure next to the metrics it perturbed.
+
+    ``phase_profile`` carries the run's host wall-clock per scheduler
+    phase (:mod:`repro.obs.profiler`); it is excluded from equality
+    (``compare=False``) because wall-clock differs between otherwise
+    bitwise-identical runs — the engine-parity and serial/parallel
+    equality contracts compare simulated results only.
     """
 
     policy: str
     machine_stats: MachineStats
     domains: Dict[str, DomainStats]
     fault_stats: Optional[FaultStats] = None
+    phase_profile: Optional[Dict[str, PhaseStat]] = field(default=None, compare=False)
 
     def domain(self, name: str) -> DomainStats:
         """Stats for one domain, by name."""
         return self.domains[name]
+
+    def to_dict(self, include_profile: bool = True) -> Dict[str, Any]:
+        """JSON-serializable form.
+
+        ``include_profile=False`` omits the wall-clock phase profile —
+        required wherever output must be identical across engines and
+        hosts (the JSONL trace writer uses it).
+        """
+        out: Dict[str, Any] = {
+            "policy": self.policy,
+            "machine_stats": self.machine_stats.to_dict(),
+            "domains": {name: d.to_dict() for name, d in self.domains.items()},
+            "fault_stats": (
+                self.fault_stats.to_dict() if self.fault_stats is not None else None
+            ),
+        }
+        if include_profile:
+            out["phase_profile"] = (
+                {p: s.to_dict() for p, s in self.phase_profile.items()}
+                if self.phase_profile is not None
+                else None
+            )
+        return out
 
 
 def collect_domain(machine: Machine, domain: Domain) -> DomainStats:
@@ -157,4 +222,5 @@ def summarize(machine: Machine) -> RunSummary:
         ),
         domains={d.name: collect_domain(machine, d) for d in machine.domains},
         fault_stats=machine.faults.stats() if machine.faults is not None else None,
+        phase_profile=machine.profiler.snapshot() if machine.profiler.enabled else None,
     )

@@ -55,12 +55,16 @@ class Trace:
     def __len__(self) -> int:
         return len(self.snapshots)
 
-    def window_remote_ratio(self, domain: str) -> List[float]:
+    def window_remote_ratio(self, domain: str) -> List[Optional[float]]:
         """Remote share of each window's accesses for ``domain``.
 
-        Windows with no accesses report 0.
+        Windows with no DRAM traffic report ``None``: an idle window is
+        *unknown* locality, not perfect locality, and folding it to 0.0
+        would bias Fig-1-style drift curves toward zero over idle tails.
+        Callers that need plain floats filter: ``[r for r in ratios if
+        r is not None]``.
         """
-        out: List[float] = []
+        out: List[Optional[float]] = []
         prev: Optional[Snapshot] = None
         for snap in self.snapshots:
             if prev is None:
@@ -70,7 +74,7 @@ class Trace:
             l1, r1 = snap.accesses.get(domain, (0.0, 0.0))
             local, remote = l1 - l0, r1 - r0
             total = local + remote
-            out.append(remote / total if total > 0 else 0.0)
+            out.append(remote / total if total > 0 else None)
             prev = snap
         return out
 
@@ -89,10 +93,15 @@ class Trace:
         return out
 
     def node_imbalance(self) -> List[int]:
-        """Spread (max - min) of memory-intensive VCPUs across nodes."""
+        """Spread (max - min) of memory-intensive VCPUs across nodes.
+
+        The t=0 pre-run snapshot is excluded: before the first epoch no
+        VCPU has been placed by the scheduler under study, so its spread
+        reflects construction order, not scheduling behaviour.
+        """
         return [
             max(s.intensive_per_node) - min(s.intensive_per_node)
-            for s in self.snapshots
+            for s in self.snapshots[1:]
             if s.intensive_per_node
         ]
 

@@ -1,0 +1,60 @@
+"""Observability layer: JSONL traces, phase profiler, JSON schemas.
+
+Split by dependency weight:
+
+* :mod:`repro.obs.profiler` imports nothing from the package — the
+  simulator imports it at module load, so it must stay cycle-free;
+* :mod:`repro.obs.manifest`, :mod:`repro.obs.trace` and
+  :mod:`repro.obs.schema` sit *above* the simulator and metrics layers.
+
+The heavy names are re-exported lazily (PEP 562) so that importing
+``repro.obs`` — which the simulator does transitively — never pulls the
+trace/metrics stack back into a partially-initialized import of the
+simulator itself.
+"""
+
+from __future__ import annotations
+
+from repro.obs.profiler import SCHEDULER_PHASES, PhaseProfiler, PhaseStat
+
+__all__ = [
+    "PhaseProfiler",
+    "PhaseStat",
+    "SCHEDULER_PHASES",
+    "RunManifest",
+    "build_manifest",
+    "canonical_dumps",
+    "config_hash",
+    "TraceFile",
+    "trace_lines",
+    "write_trace",
+    "read_trace",
+    "diff_traces",
+    "REPORT_SCHEMA",
+    "validate_report",
+    "validate_trace_file",
+]
+
+_LAZY = {
+    "RunManifest": "repro.obs.manifest",
+    "build_manifest": "repro.obs.manifest",
+    "canonical_dumps": "repro.obs.manifest",
+    "config_hash": "repro.obs.manifest",
+    "TraceFile": "repro.obs.trace",
+    "trace_lines": "repro.obs.trace",
+    "write_trace": "repro.obs.trace",
+    "read_trace": "repro.obs.trace",
+    "diff_traces": "repro.obs.trace",
+    "REPORT_SCHEMA": "repro.obs.schema",
+    "validate_report": "repro.obs.schema",
+    "validate_trace_file": "repro.obs.schema",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

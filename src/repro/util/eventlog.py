@@ -9,8 +9,9 @@ migration statistics reported alongside the paper's figures.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["LogEvent", "EventLog"]
 
@@ -36,25 +37,32 @@ class LogEvent:
 
 
 class EventLog:
-    """Append-only list of :class:`LogEvent` with query helpers.
+    """Append-only stream of :class:`LogEvent` with query helpers.
 
     Logging can be disabled (``enabled=False``) for long benchmark runs;
     in that state :meth:`emit` is a cheap no-op.
+
+    A ``capacity`` turns the log into a ring buffer holding the **most
+    recent** events: once full, each new emission evicts the oldest
+    event and increments :attr:`dropped`.  (Earlier versions dropped
+    the *newest* events instead, silently losing the run's tail — the
+    part the figure experiments and steal-locality tests assert on.)
     """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.enabled = enabled
         self._capacity = capacity
-        self._events: List[LogEvent] = []
+        self._events: Deque[LogEvent] = deque(maxlen=capacity)
         self._dropped = 0
 
     def emit(self, time: float, kind: str, **data: Any) -> None:
-        """Record an event (no-op when the log is disabled or full)."""
+        """Record an event (evicting the oldest when at capacity)."""
         if not self.enabled:
             return
-        if self._capacity is not None and len(self._events) >= self._capacity:
-            self._dropped += 1
-            return
+        if self._capacity is not None and len(self._events) == self._capacity:
+            self._dropped += 1  # the deque's maxlen evicts the oldest
         self._events.append(LogEvent(time=time, kind=kind, data=data))
 
     def __len__(self) -> int:
@@ -65,7 +73,7 @@ class EventLog:
 
     @property
     def dropped(self) -> int:
-        """Number of events discarded because the capacity was reached."""
+        """Number of (oldest) events evicted to stay within capacity."""
         return self._dropped
 
     def of_kind(self, kind: str) -> List[LogEvent]:

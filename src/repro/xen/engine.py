@@ -417,6 +417,7 @@ class VectorEngine:
             gather = cache.get(sig)
             if gather is None:
                 gather = _Gather(self, running_pcpus, running_vcpus, k)
+                machine.profiler.count("gather_build")
                 if len(cache) >= 1024:
                     cache.clear()
                 cache[sig] = gather

@@ -27,6 +27,7 @@ from repro.hardware.cache import CacheModel
 from repro.hardware.memory import BYTES_PER_MISS, LatencySpec, MemorySystem
 from repro.hardware.pmu import PMU, VcpuCounters
 from repro.hardware.topology import NUMATopology
+from repro.obs.profiler import PhaseProfiler
 from repro.util.eventlog import EventLog
 from repro.util.rng import RngStreams
 from repro.util.validation import check_positive
@@ -103,6 +104,12 @@ class SimConfig:
     label:
         Human-readable scenario name used in error messages
         (``SimulationTimeout``) and logs; cosmetic otherwise.
+    profile:
+        Record host wall-clock per scheduler phase in
+        :attr:`Machine.profiler` (see :mod:`repro.obs.profiler`).
+        On by default: the hooks cost <3% of an epoch (pinned by
+        ``benchmarks/bench_profiler.py``) and, like ``log_events``,
+        cannot affect simulated results.
     """
 
     epoch_s: float = 1e-3
@@ -118,6 +125,7 @@ class SimConfig:
     faults: Optional[FaultPlan] = None
     max_epochs: Optional[int] = None
     label: str = ""
+    profile: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.epoch_s, "epoch_s")
@@ -201,6 +209,8 @@ class Machine:
         self.memsys = MemorySystem(topology, self.config.latency)
         self.pmu = PMU(topology.num_nodes, self.config.pmu_collection_cost_s)
         self.log = EventLog(enabled=self.config.log_events)
+        #: host wall-clock per scheduler phase; never touches sim state
+        self.profiler = PhaseProfiler(enabled=self.config.profile)
         #: fault injector, or None when the run is fault-free
         self.faults: Optional[FaultInjector] = (
             FaultInjector(self.config.faults, self.rng)
@@ -543,9 +553,11 @@ class Machine:
                 head_rank = pcpu.queue.head_rank()
                 nxt: Optional[Vcpu] = None
                 if head_rank is None or head_rank >= 2:
+                    t0 = self.profiler.start()
                     nxt = self.policy.steal(
                         pcpu, now, under_only=head_rank is not None
                     )
+                    self.profiler.stop("balance", t0)
                     if nxt is not None:
                         self._account_steal(pcpu, nxt, now)
                 if nxt is None:
@@ -554,10 +566,12 @@ class Machine:
                     self._switch_in(pcpu, nxt, now)
 
         # 4. Contention solve and progress.
+        t0 = self.profiler.start()
         if engine is not None:
             engine.advance_running(now, epoch)
         else:
             self._advance_running(now, epoch)
+        self.profiler.stop("epoch", t0)
 
         # 5. Phase changes (heap-driven, or a cheap check per workload).
         end = now + epoch
@@ -573,7 +587,9 @@ class Machine:
 
         # 6. Sampling-period boundary.
         if (self.epoch_index + 1) % self._epochs_per_sample == 0:
+            t0 = self.profiler.start()
             self.policy.on_sample_period(end)
+            self.profiler.stop("sample_period", t0)
 
         self.time = end
         self.epoch_index += 1

@@ -114,10 +114,27 @@ class TestStealSelection:
         under_heavy.credits = 100.0
         park(machine, over_light, pcpu_id=1, pressure=0.1)
         park(machine, under_heavy, pcpu_id=1, pressure=30.0)
-        stolen = numa_aware_steal(
-            machine, machine.pcpus[0], now=1.0, under_only=True
-        )
+        stolen = numa_aware_steal(machine, machine.pcpus[0], now=1.0)
         assert stolen is over_light
+
+    def test_tie_breaks_by_queue_order(self):
+        """On equal pressure the earliest-queued candidate wins.
+
+        Pins ``min()``'s keep-first semantics so the victim choice is
+        deterministic (and so refactors of the candidate scan can't
+        silently flip it).
+        """
+        machine = build_machine()
+        clear_queues(machine)
+        first, second, third = machine.vcpus[0], machine.vcpus[1], machine.vcpus[2]
+        park(machine, first, pcpu_id=1, pressure=5.0)
+        park(machine, second, pcpu_id=1, pressure=5.0)
+        park(machine, third, pcpu_id=1, pressure=5.0)
+        stolen = numa_aware_steal(machine, machine.pcpus[0], now=1.0)
+        assert stolen is first
+        # Remove the winner and the tie re-breaks to the next in order.
+        stolen = numa_aware_steal(machine, machine.pcpus[0], now=1.0)
+        assert stolen is second
 
 
 class TestCacheHotFilter:

@@ -30,6 +30,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "soplex"])
+        assert args.command == "trace"
+        assert args.scheduler == "vprobe"
+        assert args.engine == "vector"
+        assert str(args.out) == "run.jsonl"
+        assert args.interval == pytest.approx(0.25)
+
+    def test_trace_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "soplex", "--engine", "turbo"])
+
+    def test_compare_json_flag(self, tmp_path):
+        args = build_parser().parse_args(
+            ["compare", "soplex", "--json", str(tmp_path / "out.json")]
+        )
+        assert args.json == tmp_path / "out.json"
+
+    def test_validate_parses(self):
+        args = build_parser().parse_args(["validate", "a.jsonl", "b.json"])
+        assert [p.name for p in args.files] == ["a.jsonl", "b.json"]
+
 
 class TestCommands:
     def test_solo_prints_calibration(self, capsys):
@@ -55,6 +77,51 @@ class TestCommands:
         assert "vprobe" in out and "runtime" in out
         assert "improvement over credit" in out
 
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        code = main(
+            ["trace", "lu", "--out", str(out), "--work-scale", "0.03", "--seed", "3"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "trace lines" in printed
+        assert "phase profile" in printed
+        # The file round-trips through the validator used by `validate`.
+        assert main(["validate", str(out)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_compare_json_report(self, tmp_path, capsys):
+        out = tmp_path / "compare.json"
+        code = main(
+            [
+                "compare",
+                "lu",
+                "--schedulers",
+                "credit",
+                "vprobe",
+                "--work-scale",
+                "0.03",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        from repro.obs.schema import validate_report
+
+        envelope = json.loads(out.read_text())
+        assert validate_report(envelope) == []
+        assert envelope["kind"] == "compare"
+        assert set(envelope["payload"]["summaries"]) == {"credit", "vprobe"}
+        assert main(["validate", str(out)]) == 0
+
+    def test_validate_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong", "kind": "x", "payload": {}}\n')
+        assert main(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
     def test_report_fast_writes_files(self, tmp_path, capsys):
         # Restrict to the two cheapest jobs; the full set runs in the
         # benchmark harness.
@@ -63,3 +130,12 @@ class TestCommands:
         regenerate_all(tmp_path / "r", fast=True, only=("fig3", "table3"))
         written = {p.name for p in (tmp_path / "r").glob("*.txt")}
         assert written == {"fig3_llc_missrate_rpti.txt", "table3_overhead.txt"}
+        # Every table also lands as a machine-readable report.
+        import json
+
+        from repro.obs.schema import validate_report
+
+        jsons = sorted((tmp_path / "r").glob("*.json"))
+        assert {p.stem for p in jsons} == {p.stem for p in (tmp_path / "r").glob("*.txt")}
+        for p in jsons:
+            assert validate_report(json.loads(p.read_text())) == []

@@ -1,5 +1,7 @@
 """Tests for repro.util.eventlog."""
 
+import pytest
+
 from repro.util.eventlog import EventLog, LogEvent
 
 
@@ -43,6 +45,26 @@ class TestEventLog:
             log.emit(float(i), "x")
         assert len(log) == 2
         assert log.dropped == 3
+
+    def test_capacity_keeps_newest_events(self):
+        """Ring-buffer regression: the run's tail must survive.
+
+        The old implementation kept the *oldest* events and silently
+        discarded everything after the cap — exactly the late-run
+        events the figure experiments assert on.
+        """
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit(float(i), "x", seq=i)
+        assert [e.data["seq"] for e in log] == [7, 8, 9]
+        assert log.dropped == 7
+        # The very last event always survives at capacity.
+        log.emit(99.0, "last")
+        assert list(log)[-1].kind == "last"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
 
     def test_clear_resets_everything(self):
         log = EventLog(capacity=1)

@@ -38,6 +38,15 @@ class TestNormalizeMap:
         with pytest.raises(KeyError):
             normalize_map({"vprobe": 1.0})
 
+    def test_zero_baseline_rejected(self):
+        """A zero denominator fails loudly via check_positive."""
+        with pytest.raises(ValueError, match="baseline"):
+            normalize_map({"credit": 0.0, "vprobe": 1.0})
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            normalize_map({"credit": -2.0, "vprobe": 1.0})
+
 
 class TestImprovementPct:
     def test_paper_headline_arithmetic(self):

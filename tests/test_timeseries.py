@@ -64,7 +64,24 @@ class TestTraceRun:
         trace = trace_run(machine, interval_s=0.25)
         ratios = trace.window_remote_ratio("vm")
         assert len(ratios) == len(trace) - 1
-        assert all(0.0 <= r <= 1.0 for r in ratios)
+        assert all(0.0 <= r <= 1.0 for r in ratios if r is not None)
+
+    def test_window_remote_ratio_idle_window_is_none(self):
+        """A window with no DRAM traffic is unknown locality, not 0."""
+        trace = trace_run(build(), interval_s=0.25)
+        base = trace.snapshots[0]
+        idle = type(base)(
+            time_s=trace.snapshots[-1].time_s + 0.25,
+            accesses=dict(trace.snapshots[-1].accesses),
+            instructions=dict(trace.snapshots[-1].instructions),
+            intensive_per_node=trace.snapshots[-1].intensive_per_node,
+            migrations=trace.snapshots[-1].migrations,
+            overhead_s=trace.snapshots[-1].overhead_s,
+        )
+        trace.snapshots.append(idle)
+        ratios = trace.window_remote_ratio("vm")
+        assert ratios[-1] is None
+        assert trace.window_remote_ratio("no-such-domain") == [None] * len(ratios)
 
     def test_migration_rate_non_negative(self):
         machine = build()
@@ -77,12 +94,18 @@ class TestTraceRun:
         imbalance = trace.node_imbalance()
         assert all(i >= 0 for i in imbalance)
 
+    def test_node_imbalance_excludes_prerun_snapshot(self):
+        """The t=0 spread reflects construction order, not scheduling."""
+        machine = build(policy=vprobe())
+        trace = trace_run(machine, interval_s=0.25)
+        assert len(trace.node_imbalance()) == len(trace) - 1
+
     def test_vprobe_trace_reaches_locality(self):
         """After the first sampling periods, vProbe's windows must be
         clearly more local than the run's start."""
         machine = build(policy=vprobe(), total=8e8)
         trace = trace_run(machine, interval_s=0.25)
-        ratios = trace.window_remote_ratio("vm")
+        ratios = [r for r in trace.window_remote_ratio("vm") if r is not None]
         assert len(ratios) >= 4
         late = min(ratios[2:])
         assert late < 0.35
