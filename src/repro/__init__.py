@@ -52,6 +52,7 @@ from repro.core import (
     vprobe,
 )
 from repro.baselines import BRMScheduler
+from repro.cache import ResultCache, resolve_cache
 from repro.metrics import RunSummary, summarize
 from repro.experiments import make_scheduler, quick_comparison
 from repro.obs import (
@@ -104,6 +105,9 @@ __all__ = [
     "summarize",
     "make_scheduler",
     "quick_comparison",
+    # result cache
+    "ResultCache",
+    "resolve_cache",
     # observability
     "PhaseProfiler",
     "PhaseStat",

@@ -1,0 +1,47 @@
+"""Content-addressed result cache for experiment grid cells.
+
+Every figure and table in the evaluation is a grid of deterministic
+(builder, scheduler, config) cells, so a cell's :class:`RunSummary` is
+a pure function of its identity — which means it can be computed once,
+stored under a content-addressed key, and served from disk forever
+after.  A warm ``repro report`` resolves every cell in the parent
+process with zero simulation, zero pickling and zero executor traffic.
+
+The pieces:
+
+* :mod:`repro.cache.keys` — the key: SHA-256 over builder identity,
+  scheduler, result-defining config hash, fault-plan fingerprint and a
+  schema+version stamp (stale entries self-invalidate);
+* :mod:`repro.cache.serialize` — exact canonical-JSON round-trip of
+  :class:`~repro.metrics.collectors.RunSummary`;
+* :mod:`repro.cache.store` — the sharded on-disk store: atomic writes
+  (temp file + rename), corrupted entries read as misses, hit/miss
+  accounting for the CLI summary line.
+
+Enable it with ``--cache-dir DIR`` on ``repro compare`` / ``repro
+report``, or globally via ``REPRO_CACHE_DIR``; ``--no-cache`` forces
+the bitwise-identical uncached path.  ``repro cache stats|prune|clear``
+maintains a cache directory.
+"""
+
+from repro.cache.keys import (
+    CACHE_SCHEMA,
+    builder_fingerprint,
+    result_key,
+    scenario_key,
+)
+from repro.cache.serialize import summary_from_payload, summary_to_payload
+from repro.cache.store import ENV_CACHE_DIR, CacheStats, ResultCache, resolve_cache
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ENV_CACHE_DIR",
+    "CacheStats",
+    "ResultCache",
+    "builder_fingerprint",
+    "resolve_cache",
+    "result_key",
+    "scenario_key",
+    "summary_from_payload",
+    "summary_to_payload",
+]

@@ -34,6 +34,22 @@ Commands
     against the shipped schemas; exits non-zero on any error::
 
         python -m repro validate run.jsonl compare.json
+
+``cache``
+    Inspect or maintain a result-cache directory (``--cache-dir`` or
+    ``$REPRO_CACHE_DIR``)::
+
+        python -m repro cache stats --cache-dir .repro-cache
+        python -m repro cache prune
+        python -m repro cache clear
+
+Caching
+-------
+``compare`` and ``report`` accept ``--cache-dir DIR`` (or the
+``REPRO_CACHE_DIR`` environment variable) to serve previously computed
+cells from a content-addressed on-disk cache; ``--no-cache`` disables
+it even when the variable is set.  With neither given, nothing is
+cached and results are bitwise those of the original pipeline.
 """
 
 from __future__ import annotations
@@ -105,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT",
         help="also write the comparison as a schema-versioned JSON report",
     )
+    _add_cache_flags(cmp_p)
 
     trace_p = sub.add_parser(
         "trace", help="run one workload and export its JSONL trace"
@@ -155,11 +172,53 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="worker processes for the comparison grids (1 = serial)",
+        default=None,
+        help=(
+            "worker processes for the comparison grids "
+            "(default: one per usable core; 1 forces serial)"
+        ),
+    )
+    rep_p.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="cells per worker submission (default: auto)",
+    )
+    _add_cache_flags(rep_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or maintain a result-cache directory"
+    )
+    cache_p.add_argument(
+        "action",
+        choices=["stats", "prune", "clear"],
+        help=(
+            "stats: count entries; prune: delete stale/corrupt entries; "
+            "clear: delete everything"
+        ),
+    )
+    cache_p.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
     )
 
     return parser
+
+
+def _add_cache_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR if set)",
+    )
+    sub_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any cache directory, even $REPRO_CACHE_DIR",
+    )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -175,12 +234,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         builder = partial(npb_scenario, args.app)
     else:
         builder = partial(spec_scenario, args.app)
-    if args.jobs > 1:
+    from repro.cache.store import resolve_cache
+
+    cache = resolve_cache(args.cache_dir, args.no_cache)
+    if args.jobs > 1 or cache is not None:
         from repro.experiments.parallel import ParallelRunner
 
-        results = ParallelRunner(args.jobs).compare(builder, cfg, args.schedulers)
+        runner = ParallelRunner(max(1, args.jobs), cache=cache)
+        results = runner.compare(builder, cfg, args.schedulers)
+        cache_hits, cache_misses = runner.cache_hits, runner.cache_misses
+        retried = list(runner.retried_cells)
     else:
         results = compare(builder, cfg, args.schedulers)
+        cache_hits = cache_misses = 0
+        retried = []
 
     baseline = args.schedulers[0]
     base_time = results[baseline].domain("vm1").mean_finish_time_s
@@ -221,6 +288,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"\nvprobe improvement over {baseline}: "
             f"{improvement_pct(results['vprobe'].domain('vm1').mean_finish_time_s, base_time):.1f}%"
         )
+    if cache is not None or retried:
+        print(
+            f"\ncache: {cache_hits} hits, {cache_misses} misses; "
+            f"retried cells: {len(retried)}"
+        )
     if args.json is not None:
         from repro.experiments.jsonreport import dump_report, report
 
@@ -234,6 +306,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "sample_period_s": args.sample_period,
                 "faults": args.faults,
+                "cache": (
+                    {"hits": cache_hits, "misses": cache_misses}
+                    if cache is not None
+                    else None
+                ),
+                "retried_cells": retried,
                 "summaries": {
                     name: summary.to_dict() for name, summary in results.items()
                 },
@@ -318,9 +396,37 @@ def _cmd_solo(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.cache.store import resolve_cache
+    from repro.experiments.parallel import default_jobs
     from repro.experiments.report_all import regenerate_all
 
-    regenerate_all(pathlib.Path(args.outdir), fast=args.fast, jobs=args.jobs)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = resolve_cache(args.cache_dir, args.no_cache)
+    regenerate_all(
+        pathlib.Path(args.outdir),
+        fast=args.fast,
+        jobs=max(1, jobs),
+        cache=cache,
+        chunksize=args.chunksize,
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache.store import resolve_cache
+
+    cache = resolve_cache(args.cache_dir, no_cache=False)
+    if cache is None:
+        print("no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR")
+        return 2
+    if args.action == "stats":
+        print(f"{cache.root}: {cache.scan().format()}")
+    elif args.action == "prune":
+        stale, corrupt = cache.prune()
+        print(f"{cache.root}: pruned {stale} stale, {corrupt} corrupt")
+    else:  # clear
+        removed = cache.clear()
+        print(f"{cache.root}: removed {removed} entries")
     return 0
 
 
@@ -337,6 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solo(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -21,13 +21,21 @@ Three studies for the design choices DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.classify import Bounds
 from repro.core.vprobe import VProbeParams, VProbeScheduler
 from repro.experiments.scenarios import ScenarioConfig, mix_scenario
 from repro.metrics.collectors import summarize
 from repro.metrics.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+
+#: Builder identity of :func:`mix_scenario` for ablation cache keys
+#: (the variants construct policies directly, so each passes its own
+#: ``ablation:<study>/<variant>`` scheduler identity instead of a name).
+_MIX_BUILDER_ID = "repro.experiments.scenarios.mix_scenario()"
 
 __all__ = [
     "AblationResult",
@@ -67,13 +75,32 @@ class AblationResult:
         )
 
 
-def _run_variant(policy: VProbeScheduler, cfg: ScenarioConfig):
+def _run_variant(
+    policy: VProbeScheduler,
+    cfg: ScenarioConfig,
+    cache: Optional["ResultCache"] = None,
+    identity: Optional[str] = None,
+):
+    key = None
+    if cache is not None and identity is not None:
+        from repro.cache.keys import scenario_key
+
+        key = scenario_key(_MIX_BUILDER_ID, identity, cfg)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     machine = mix_scenario(policy, cfg)
     machine.run()
-    return summarize(machine)
+    summary = summarize(machine)
+    if key is not None:
+        cache.put(key, summary, meta={"scheduler": identity, "seed": cfg.seed})
+    return summary
 
 
-def run_bounds_ablation(cfg: Optional[ScenarioConfig] = None) -> AblationResult:
+def run_bounds_ablation(
+    cfg: Optional[ScenarioConfig] = None,
+    cache: Optional["ResultCache"] = None,
+) -> AblationResult:
     """Static vs dynamic classification bounds on the mix workload."""
     config = cfg or ScenarioConfig(work_scale=0.2)
     variants = {
@@ -85,7 +112,9 @@ def run_bounds_ablation(cfg: Optional[ScenarioConfig] = None) -> AblationResult:
     runtime: Dict[str, float] = {}
     remote: Dict[str, float] = {}
     for name, policy in variants.items():
-        summary = _run_variant(policy, config)
+        summary = _run_variant(
+            policy, config, cache=cache, identity=f"ablation:bounds/{name}"
+        )
         stats = summary.domain("vm1")
         runtime[name] = stats.mean_finish_time_s or float("nan")
         remote[name] = stats.remote_ratio
@@ -94,6 +123,7 @@ def run_bounds_ablation(cfg: Optional[ScenarioConfig] = None) -> AblationResult:
 
 def run_page_migration_ablation(
     cfg: Optional[ScenarioConfig] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> AblationResult:
     """Plain vProbe vs the §VI combined VCPU+page migration strategy."""
     config = cfg or ScenarioConfig(work_scale=0.2)
@@ -106,7 +136,9 @@ def run_page_migration_ablation(
     runtime: Dict[str, float] = {}
     remote: Dict[str, float] = {}
     for name, policy in variants.items():
-        summary = _run_variant(policy, config)
+        summary = _run_variant(
+            policy, config, cache=cache, identity=f"ablation:page-migration/{name}"
+        )
         stats = summary.domain("vm1")
         runtime[name] = stats.mean_finish_time_s or float("nan")
         remote[name] = stats.remote_ratio
@@ -115,6 +147,7 @@ def run_page_migration_ablation(
 
 def run_classification_ablation(
     cfg: Optional[ScenarioConfig] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> AblationResult:
     """Standard classes vs 'everything looks friendly' bounds.
 
@@ -132,7 +165,9 @@ def run_classification_ablation(
     runtime: Dict[str, float] = {}
     remote: Dict[str, float] = {}
     for name, policy in variants.items():
-        summary = _run_variant(policy, config)
+        summary = _run_variant(
+            policy, config, cache=cache, identity=f"ablation:classification/{name}"
+        )
         stats = summary.domain("vm1")
         runtime[name] = stats.mean_finish_time_s or float("nan")
         remote[name] = stats.remote_ratio

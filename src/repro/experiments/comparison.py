@@ -11,12 +11,16 @@ modules only define the workload axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioBuilder, compare
+from repro.experiments.runner import ScenarioBuilder
 from repro.experiments.scenarios import SCHEDULER_NAMES, ScenarioConfig
 from repro.metrics.collectors import RunSummary
 from repro.metrics.report import format_table, improvement_pct
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+    from repro.experiments.parallel import ParallelRunner
 
 __all__ = ["WorkloadPoint", "ComparisonCell", "ComparisonResult", "run_grid"]
 
@@ -183,34 +187,33 @@ def run_grid(
     cfg: Optional[ScenarioConfig] = None,
     schedulers: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> ComparisonResult:
     """Run every (workload, scheduler) pair of a comparison figure.
 
     ``jobs > 1`` fans the independent cells across worker processes
     (each cell reruns the same seeded scenario, so results are
-    identical to the serial pass).
+    identical to the serial pass).  ``cache`` serves previously
+    computed cells from disk; an explicit ``runner`` (which wins over
+    ``jobs``/``cache``) lets ``report_all`` share one runner — and its
+    hit/miss/retry accounting — across every figure.
     """
+    from repro.experiments.parallel import ParallelRunner
+
     config = cfg or ScenarioConfig()
     names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
     cells: Dict[Tuple[str, str], ComparisonCell] = {}
-    if jobs > 1:
-        from repro.experiments.parallel import ParallelRunner
-
-        flat = [(p.builder, sched, config) for p in points for sched in names]
-        summaries = ParallelRunner(jobs).run_cells(flat)
-        rows = iter(summaries)
-        for point in points:
-            for sched in names:
-                cells[(point.label, sched)] = ComparisonCell.from_summary(
-                    point.label, next(rows)
-                )
-    else:
-        for point in points:
-            summaries = compare(point.builder, config, names)
-            for sched, summary in summaries.items():
-                cells[(point.label, sched)] = ComparisonCell.from_summary(
-                    point.label, summary
-                )
+    if runner is None:
+        runner = ParallelRunner(jobs, cache=cache)
+    flat = [(p.builder, sched, config) for p in points for sched in names]
+    summaries = runner.run_cells(flat)
+    rows = iter(summaries)
+    for point in points:
+        for sched in names:
+            cells[(point.label, sched)] = ComparisonCell.from_summary(
+                point.label, next(rows)
+            )
     return ComparisonResult(
         name=name,
         workloads=tuple(p.label for p in points),

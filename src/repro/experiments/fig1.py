@@ -17,11 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.experiments.runner import run_one
 from repro.experiments.scenarios import ScenarioConfig, motivation_scenario
 from repro.metrics.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
 
 __all__ = ["FIG1_APPS", "Fig1Result", "run"]
 
@@ -69,6 +72,7 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     apps: Sequence[str] = FIG1_APPS,
     scheduler: str = "credit",
+    cache: Optional["ResultCache"] = None,
 ) -> Fig1Result:
     """Measure remote-access ratios for each application.
 
@@ -81,11 +85,13 @@ def run(
     scheduler:
         Scheduler to run under (Credit in the paper's figure; other
         names are accepted for side-by-side comparisons).
+    cache:
+        Optional result cache consulted before running each cell.
     """
     config = cfg or ScenarioConfig(work_scale=0.1)
     ratios: Dict[str, float] = {}
     for app in apps:
         builder = partial(motivation_scenario, app)
-        summary = run_one(builder, scheduler, config)
+        summary = run_one(builder, scheduler, config, cache=cache)
         ratios[app] = summary.domain("vm1").remote_ratio
     return Fig1Result(remote_ratio=ratios, scheduler=scheduler)

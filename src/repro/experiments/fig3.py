@@ -19,13 +19,16 @@ from __future__ import annotations
 from functools import partial
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.core.classify import Bounds, classify
 from repro.experiments.runner import run_one
 from repro.experiments.scenarios import ScenarioConfig, solo_scenario
 from repro.metrics.report import format_table
 from repro.xen.vcpu import VcpuType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
 
 __all__ = ["FIG3_APPS", "PAPER_RPTI", "Fig3Row", "Fig3Result", "run"]
 
@@ -116,6 +119,7 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     apps: Sequence[str] = FIG3_APPS,
     bounds: Optional[Bounds] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> Fig3Result:
     """Run the solo calibration for each application."""
     config = cfg or ScenarioConfig(work_scale=0.05)
@@ -123,7 +127,7 @@ def run(
     rows = []
     for app in apps:
         builder = partial(solo_scenario, app)
-        summary = run_one(builder, "credit", config)
+        summary = run_one(builder, "credit", config, cache=cache)
         stats = summary.domain("vm1")
         rows.append(
             Fig3Row(

@@ -12,10 +12,14 @@ because it preserves locality between sampling periods.
 from __future__ import annotations
 
 from functools import partial
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
 from repro.experiments.scenarios import ScenarioConfig, npb_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+    from repro.experiments.parallel import ParallelRunner
 
 __all__ = ["FIG5_WORKLOADS", "points", "run"]
 
@@ -36,8 +40,16 @@ def run(
     workloads: Sequence[str] = FIG5_WORKLOADS,
     schedulers: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> ComparisonResult:
     """Run the Fig. 5 grid (``jobs > 1`` fans cells across processes)."""
     return run_grid(
-        "Figure 5: NPB", points(workloads), cfg, schedulers, jobs=jobs
+        "Figure 5: NPB",
+        points(workloads),
+        cfg,
+        schedulers,
+        jobs=jobs,
+        cache=cache,
+        runner=runner,
     )

@@ -12,10 +12,14 @@ concurrency — and with it the servers' cache footprint — grows.
 from __future__ import annotations
 
 from functools import partial
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
 from repro.experiments.scenarios import ScenarioConfig, memcached_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+    from repro.experiments.parallel import ParallelRunner
 
 __all__ = ["FIG6_CONCURRENCY", "points", "run"]
 
@@ -38,8 +42,16 @@ def run(
     concurrencies: Sequence[int] = FIG6_CONCURRENCY,
     schedulers: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> ComparisonResult:
     """Run the Fig. 6 sweep (``jobs > 1`` fans cells across processes)."""
     return run_grid(
-        "Figure 6: memcached", points(concurrencies), cfg, schedulers, jobs=jobs
+        "Figure 6: memcached",
+        points(concurrencies),
+        cfg,
+        schedulers,
+        jobs=jobs,
+        cache=cache,
+        runner=runner,
     )

@@ -14,10 +14,14 @@ from __future__ import annotations
 from functools import partial
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.experiments.comparison import ComparisonResult, WorkloadPoint, run_grid
 from repro.experiments.scenarios import ScenarioConfig, redis_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+    from repro.experiments.parallel import ParallelRunner
 from repro.metrics.report import format_table
 from repro.workloads.services import REDIS_INSTR_PER_OP
 
@@ -89,9 +93,17 @@ def run(
     connections: Sequence[int] = FIG7_CONNECTIONS,
     schedulers: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> Fig7Result:
     """Run the Fig. 7 sweep (``jobs > 1`` fans cells across processes)."""
     grid = run_grid(
-        "Figure 7: redis", points(connections), cfg, schedulers, jobs=jobs
+        "Figure 7: redis",
+        points(connections),
+        cfg,
+        schedulers,
+        jobs=jobs,
+        cache=cache,
+        runner=runner,
     )
     return Fig7Result(grid=grid)

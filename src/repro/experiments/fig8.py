@@ -14,11 +14,14 @@ paper picks 1 s; the sweep validates that choice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.experiments.runner import run_one
 from repro.experiments.scenarios import ScenarioConfig, mix_scenario
 from repro.metrics.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
 
 __all__ = ["FIG8_PERIODS", "Fig8Result", "run"]
 
@@ -72,6 +75,7 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     periods: Sequence[float] = FIG8_PERIODS,
     scheduler: str = "vprobe",
+    cache: Optional["ResultCache"] = None,
 ) -> Fig8Result:
     """Sweep the sampling period for the mix workload."""
     base = cfg or ScenarioConfig(work_scale=0.25)
@@ -86,7 +90,7 @@ def run(
             log_events=base.log_events,
             latency=base.latency,
         )
-        summary = run_one(mix_scenario, scheduler, config)
+        summary = run_one(mix_scenario, scheduler, config, cache=cache)
         runtimes.append(summary.domain("vm1").mean_finish_time_s or float("nan"))
     return Fig8Result(
         periods=tuple(periods), runtime_s=tuple(runtimes), scheduler=scheduler

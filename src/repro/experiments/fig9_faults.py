@@ -30,12 +30,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.scenarios import ScenarioConfig, mix_scenario
 from repro.faults.plan import FaultPlan
 from repro.metrics.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
 
 __all__ = [
     "FIG9_RATES",
@@ -123,6 +126,8 @@ def run(
     schedulers: Sequence[str] = FIG9_SCHEDULERS,
     seeds: int = FIG9_SEEDS,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> Fig9Result:
     """Sweep fault rates across schedulers on the ``mix`` workload.
 
@@ -142,7 +147,9 @@ def run(
                     label=f"fig9 mix faults={rate:g} seed={base.seed + i}",
                 )
                 cells.append((mix_scenario, name, config))
-    summaries = ParallelRunner(jobs).run_cells(cells)
+    if runner is None:
+        runner = ParallelRunner(jobs, cache=cache)
+    summaries = runner.run_cells(cells)
     runtime: Dict[str, list] = {name: [] for name in schedulers}
     events: Dict[str, list] = {name: [] for name in schedulers}
     at = 0

@@ -16,14 +16,32 @@ counterparts return, cell for cell.  With ``jobs <= 1`` it *is* the
 serial path (no executor, no pickling), so callers can thread a
 ``--jobs N`` flag straight through.
 
-Worker crashes don't lose the grid: any cell whose future fails —
+**Cache awareness.**  Given a
+:class:`~repro.cache.store.ResultCache`, the runner resolves hits *in
+the parent process* before any executor exists: a fully warm grid
+performs zero pickling and spawns zero workers.  Only misses are
+dispatched, and each miss's result is stored back (by the parent, so
+workers stay cache-blind and the worker protocol stays the plain
+picklable cell).  Per-call hit/miss counts land in
+:attr:`ParallelRunner.cache_hits` / :attr:`ParallelRunner.cache_misses`
+and accumulate in the ``total_*`` counterparts for end-of-report
+summary lines.
+
+**Chunked dispatch.**  Misses are submitted in chunks
+(``chunksize``; an adaptive default of ~4 chunks per worker) so a
+large seed sweep pays one task-submission/result round-trip per chunk
+instead of per cell — the executor's per-task IPC is the dominant cost
+once cells are short.  ``chunksize=1`` reproduces the historical
+one-future-per-cell dispatch exactly.
+
+Worker crashes don't lose the grid: any chunk whose future fails —
 including the :class:`BrokenProcessPool` cascade when one worker dies
-and takes every pending future with it — is retried once, serially, in
-the parent process.  Because cells are deterministic functions of
-(builder, scheduler, config), a serial re-run produces the exact
-summary the worker would have; only cells that *also* fail serially
-surface, aggregated into one :class:`ParallelExecutionError` naming
-them.  Retried cells are recorded in
+and takes every pending future with it — has its cells retried once,
+serially, in the parent process.  Because cells are deterministic
+functions of (builder, scheduler, config), a serial re-run produces
+the exact summary the worker would have; only cells that *also* fail
+serially surface, aggregated into one :class:`ParallelExecutionError`
+naming them.  Retried cells are recorded in
 :attr:`ParallelRunner.retried_cells` so a flaky pool never passes
 silently.
 """
@@ -31,17 +49,21 @@ silently.
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
 
 from repro.experiments.runner import (
     MeanStats,
     ScenarioBuilder,
     aggregate_mean_stats,
-    run_one,
+    execute_cell,
 )
 from repro.experiments.scenarios import SCHEDULER_NAMES, ScenarioConfig
 from repro.metrics.collectors import RunSummary
@@ -83,6 +105,20 @@ def cell_name(cell: Cell) -> str:
     return f"{label}/{scheduler}/seed={cfg.seed}"
 
 
+def run_cell_batch(cells: Sequence[Cell]) -> List[RunSummary]:
+    """Worker-side entry: run a chunk of cells serially, in order.
+
+    Module-level (picklable) and cache-blind by design; the parent owns
+    all cache traffic.
+    """
+    return [execute_cell(b, s, c) for b, s, c in cells]
+
+
+def _auto_chunksize(cells: int, workers: int) -> int:
+    """~4 chunks per worker: amortizes IPC while keeping load balance."""
+    return max(1, math.ceil(cells / (workers * 4)))
+
+
 class ParallelExecutionError(RuntimeError):
     """Cells that failed both in a worker and on the serial retry.
 
@@ -109,16 +145,82 @@ class ParallelRunner:
     jobs:
         Worker process count.  ``1`` (the default) runs every cell in
         this process, bit-for-bit the serial runner.
+    cache:
+        Optional :class:`~repro.cache.store.ResultCache`; hits resolve
+        in the parent, misses run (and are stored back) as usual.
+        ``None`` disables caching entirely.
+    chunksize:
+        Cells per submitted task when dispatching misses.  ``None``
+        picks :func:`_auto_chunksize`; ``1`` forces the historical
+        one-future-per-cell dispatch.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional["ResultCache"] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = jobs
+        self.cache = cache
+        self.chunksize = chunksize
         #: cell names recovered by serial retry in the latest
         #: :meth:`run_cells` call (empty on a clean parallel run)
         self.retried_cells: List[str] = []
+        #: cache hits/misses of the latest :meth:`run_cells` call
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: lifetime accumulators across every :meth:`run_cells` call
+        self.total_retried_cells: List[str] = []
+        self.total_cache_hits = 0
+        self.total_cache_misses = 0
 
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _lookup(
+        self, cells: Sequence[Cell], results: List[Optional[RunSummary]]
+    ) -> Tuple[List[Optional[str]], List[int]]:
+        """Resolve cache hits in-place; returns (keys, miss indices)."""
+        keys: List[Optional[str]] = [None] * len(cells)
+        if self.cache is None:
+            return keys, list(range(len(cells)))
+        from repro.cache.keys import result_key
+
+        misses: List[int] = []
+        for index, (builder, scheduler, cfg) in enumerate(cells):
+            key = result_key(builder, scheduler, cfg)
+            keys[index] = key
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                results[index] = hit
+                self.cache_hits += 1
+            else:
+                misses.append(index)
+                self.cache_misses += 1
+        return keys, misses
+
+    def _store(self, key: Optional[str], cell: Cell, summary: RunSummary) -> None:
+        if self.cache is None or key is None:
+            return
+        _, scheduler, cfg = cell
+        self.cache.put(
+            key,
+            summary,
+            meta={
+                "cell": cell_name(cell),
+                "scheduler": scheduler,
+                "seed": cfg.seed,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def run_cells(self, cells: Sequence[Cell]) -> List[RunSummary]:
         """Run cells (in order); parallel when jobs and cells allow.
 
@@ -133,39 +235,78 @@ class ParallelRunner:
         one aggregated :class:`ParallelExecutionError`.
         """
         self.retried_cells = []
-        if self.jobs <= 1 or len(cells) <= 1:
-            return [run_one(b, s, c) for b, s, c in cells]
-        workers = min(self.jobs, len(cells))
+        self.cache_hits = 0
+        self.cache_misses = 0
         results: List[Optional[RunSummary]] = [None] * len(cells)
+        try:
+            keys, misses = self._lookup(cells, results)
+            if misses:
+                if self.jobs <= 1 or len(misses) <= 1:
+                    for index in misses:
+                        builder, scheduler, cfg = cells[index]
+                        summary = execute_cell(builder, scheduler, cfg)
+                        results[index] = summary
+                        self._store(keys[index], cells[index], summary)
+                else:
+                    self._run_parallel(cells, keys, misses, results)
+        finally:
+            self.total_cache_hits += self.cache_hits
+            self.total_cache_misses += self.cache_misses
+            self.total_retried_cells.extend(self.retried_cells)
+        return results  # type: ignore[return-value]  # all slots filled
+
+    def _run_parallel(
+        self,
+        cells: Sequence[Cell],
+        keys: List[Optional[str]],
+        misses: List[int],
+        results: List[Optional[RunSummary]],
+    ) -> None:
+        """Dispatch miss indices in chunks; fill ``results`` in place."""
+        workers = min(self.jobs, len(misses))
+        size = self.chunksize or _auto_chunksize(len(misses), workers)
+        chunks = [misses[i : i + size] for i in range(0, len(misses), size)]
         failed: List[int] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures: Dict[int, object] = {}
-            for index, (b, s, c) in enumerate(cells):
+            for chunk_id, chunk in enumerate(chunks):
                 try:
-                    futures[index] = pool.submit(run_one, b, s, c)
+                    futures[chunk_id] = pool.submit(
+                        run_cell_batch, [cells[i] for i in chunk]
+                    )
                 except BrokenProcessPool:
                     # The pool died while we were still submitting;
                     # everything not yet submitted goes to the retry.
-                    failed.append(index)
-            for index, future in futures.items():
+                    failed.extend(chunk)
+            for chunk_id, future in futures.items():
+                chunk = chunks[chunk_id]
                 try:
-                    results[index] = future.result()
+                    summaries = future.result()
                 except Exception:
-                    failed.append(index)
+                    failed.extend(chunk)
+                else:
+                    for index, summary in zip(chunk, summaries):
+                        results[index] = summary
+                        self._store(keys[index], cells[index], summary)
         failed.sort()
         failures: Dict[str, BaseException] = {}
         for index in failed:
-            b, s, c = cells[index]
+            builder, scheduler, cfg = cells[index]
             name = cell_name(cells[index])
             self.retried_cells.append(name)
             try:
-                results[index] = run_one(b, s, c)
+                summary = execute_cell(builder, scheduler, cfg)
             except Exception as exc:
                 failures[name] = exc
+            else:
+                results[index] = summary
+                self._store(keys[index], cells[index], summary)
         if failures:
             raise ParallelExecutionError(failures, total=len(cells))
-        return results  # type: ignore[return-value]  # all slots filled
 
+    # ------------------------------------------------------------------
+    # Serial-API mirrors
+    # ------------------------------------------------------------------
     def compare(
         self,
         builder: ScenarioBuilder,

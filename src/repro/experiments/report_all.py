@@ -1,13 +1,16 @@
 """Regenerate every table and figure in one command.
 
-``python -m repro.experiments.report_all [outdir] [--fast] [--jobs N]``
-runs the whole evaluation (Figs. 1, 3-8 and Table III plus the
-ablations) and writes each rendered table to ``outdir`` (default
-``./results``).  ``--fast`` uses very small scales for a minutes-long
-smoke pass; the default scales match the benchmark harness.
-``--jobs N`` fans each comparison grid's cells across N worker
-processes (results are identical — every cell reruns the same seeded
-scenario).
+``python -m repro.experiments.report_all [outdir] [--fast] [--jobs N]
+[--cache-dir DIR | --no-cache] [--chunksize N]`` runs the whole
+evaluation (Figs. 1, 3-8 and Table III plus the ablations) and writes
+each rendered table to ``outdir`` (default ``./results``).  ``--fast``
+uses very small scales for a minutes-long smoke pass; the default
+scales match the benchmark harness.  ``--jobs N`` fans each comparison
+grid's cells across N worker processes (results are identical — every
+cell reruns the same seeded scenario); the default is one worker per
+core.  With a cache directory (``--cache-dir`` or ``REPRO_CACHE_DIR``)
+previously computed cells are served from disk and a warm rerun does
+no simulation at all.
 
 This is the scripted equivalent of
 ``pytest benchmarks/ --benchmark-only`` without the timing machinery —
@@ -17,9 +20,8 @@ useful on machines where pytest-benchmark is unavailable.
 from __future__ import annotations
 
 import pathlib
-import sys
 import time
-from typing import Callable, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
     ScenarioConfig,
@@ -35,43 +37,72 @@ from repro.experiments import (
     table3,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+    from repro.experiments.parallel import ParallelRunner
+
 __all__ = ["regenerate_all", "main"]
 
 
-def _jobs(fast: bool, jobs: int = 1) -> Tuple[Tuple[str, Callable[[], object]], ...]:
+def _jobs(
+    fast: bool,
+    jobs: int = 1,
+    runner: "Optional[ParallelRunner]" = None,
+    cache: "Optional[ResultCache]" = None,
+) -> Tuple[Tuple[str, Callable[[], object]], ...]:
     scale = 0.05 if fast else 0.18
     svc_scale = 0.04 if fast else 0.1
     cfg = lambda ws, seed: ScenarioConfig(work_scale=ws, seed=seed)
     return (
-        ("fig1_remote_ratios", lambda: fig1.run(cfg(scale * 0.8, 0))),
-        ("fig3_llc_missrate_rpti", lambda: fig3.run(cfg(0.05, 0))),
-        ("fig4_spec_cpu2006", lambda: fig4.run(cfg(scale, 1), jobs=jobs)),
-        ("fig5_npb", lambda: fig5.run(cfg(scale, 2), jobs=jobs)),
+        ("fig1_remote_ratios", lambda: fig1.run(cfg(scale * 0.8, 0), cache=cache)),
+        ("fig3_llc_missrate_rpti", lambda: fig3.run(cfg(0.05, 0), cache=cache)),
+        (
+            "fig4_spec_cpu2006",
+            lambda: fig4.run(cfg(scale, 1), jobs=jobs, cache=cache, runner=runner),
+        ),
+        (
+            "fig5_npb",
+            lambda: fig5.run(cfg(scale, 2), jobs=jobs, cache=cache, runner=runner),
+        ),
         (
             "fig6_memcached",
             lambda: fig6.run(
-                cfg(svc_scale, 3), concurrencies=(16, 48, 80, 112), jobs=jobs
+                cfg(svc_scale, 3),
+                concurrencies=(16, 48, 80, 112),
+                jobs=jobs,
+                cache=cache,
+                runner=runner,
             ),
         ),
         (
             "fig7_redis",
             lambda: fig7.run(
-                cfg(scale, 4), connections=(2000, 6000, 10000), jobs=jobs
+                cfg(scale, 4),
+                connections=(2000, 6000, 10000),
+                jobs=jobs,
+                cache=cache,
+                runner=runner,
             ),
         ),
-        ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0))),
+        ("fig8_sampling_period", lambda: fig8.run(cfg(scale, 0), cache=cache)),
         (
             "fig9_fault_degradation",
-            lambda: fig9_faults.run(cfg(scale, 0), seeds=3 if fast else 5, jobs=jobs),
+            lambda: fig9_faults.run(
+                cfg(scale, 0),
+                seeds=3 if fast else 5,
+                jobs=jobs,
+                cache=cache,
+                runner=runner,
+            ),
         ),
-        ("table3_overhead", lambda: table3.run(cfg(scale, 0))),
+        ("table3_overhead", lambda: table3.run(cfg(scale, 0), cache=cache)),
         (
             "ablation_dynamic_bounds",
-            lambda: ablation.run_bounds_ablation(cfg(scale, 5)),
+            lambda: ablation.run_bounds_ablation(cfg(scale, 5), cache=cache),
         ),
         (
             "ablation_page_migration",
-            lambda: ablation.run_page_migration_ablation(cfg(scale, 5)),
+            lambda: ablation.run_page_migration_ablation(cfg(scale, 5), cache=cache),
         ),
     )
 
@@ -81,19 +112,33 @@ def regenerate_all(
     fast: bool = False,
     only: "tuple[str, ...] | None" = None,
     jobs: int = 1,
-) -> None:
+    cache: "Optional[ResultCache]" = None,
+    chunksize: Optional[int] = None,
+) -> Dict[str, int]:
     """Run every experiment; write one .txt and one .json per result.
 
     The ``.txt`` is the rendered table (unchanged); the ``.json`` is
     the schema-versioned ``to_json()`` envelope for machine consumers.
     ``only`` optionally restricts to jobs whose name starts with one of
     the given prefixes (used by smoke tests).  ``jobs > 1`` fans each
-    comparison grid's cells across worker processes.
+    comparison grid's cells across worker processes; every grid shares
+    one :class:`~repro.experiments.parallel.ParallelRunner` so cache
+    hit/miss and crash-retry counts aggregate across the whole report.
+    ``cache`` serves previously computed cells from disk — the cached
+    payload round-trips exactly, so the ``.json`` outputs of a warm run
+    are byte-identical to a cold one.
+
+    Returns the run's accounting: ``cache_hits``, ``cache_misses`` and
+    ``retried_cells``.
     """
     from repro.experiments.jsonreport import dump_report
+    from repro.experiments.parallel import ParallelRunner
 
     outdir.mkdir(parents=True, exist_ok=True)
-    for name, job in _jobs(fast, jobs):
+    runner = ParallelRunner(jobs, cache=cache, chunksize=chunksize)
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    for name, job in _jobs(fast, jobs, runner=runner, cache=cache):
         if only is not None and not any(name.startswith(p) for p in only):
             continue
         start = time.perf_counter()
@@ -105,22 +150,68 @@ def regenerate_all(
         print(f"[{elapsed:7.1f}s] {name}")
         print(text)
         print()
+    stats = {
+        "cache_hits": (cache.hits - hits0) if cache is not None else 0,
+        "cache_misses": (cache.misses - misses0) if cache is not None else 0,
+        "retried_cells": len(runner.total_retried_cells),
+    }
+    if cache is not None or stats["retried_cells"]:
+        print(
+            f"cache: {stats['cache_hits']} hits, "
+            f"{stats['cache_misses']} misses; "
+            f"retried cells: {stats['retried_cells']}"
+        )
+    return stats
 
 
-def main(argv: list[str] | None = None) -> int:
+def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point."""
-    args = list(sys.argv[1:] if argv is None else argv)
-    fast = "--fast" in args
-    if fast:
-        args.remove("--fast")
-    jobs = 1
-    if "--jobs" in args:
-        at = args.index("--jobs")
-        jobs = int(args[at + 1])
-        del args[at : at + 2]
-    outdir = pathlib.Path(args[0]) if args else pathlib.Path("results")
-    regenerate_all(outdir, fast=fast, jobs=jobs)
-    print(f"all tables written to {outdir}/")
+    import argparse
+
+    from repro.cache.store import resolve_cache
+    from repro.experiments.parallel import default_jobs
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table and figure."
+    )
+    parser.add_argument(
+        "outdir", nargs="?", default="results", type=pathlib.Path
+    )
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per grid (default: one per core)",
+    )
+    parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="cells per worker submission (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any cache directory, even $REPRO_CACHE_DIR",
+    )
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = resolve_cache(args.cache_dir, args.no_cache)
+    regenerate_all(
+        args.outdir,
+        fast=args.fast,
+        jobs=max(1, jobs),
+        cache=cache,
+        chunksize=args.chunksize,
+    )
+    print(f"all tables written to {args.outdir}/")
     return 0
 
 

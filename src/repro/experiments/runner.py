@@ -5,13 +5,20 @@ scheduler.  The runner reproduces that pairing: all schedulers see the
 same scenario built from the same seed, so workload randomness (phase
 changes, service bursts) is identical across policies and differences
 are attributable to scheduling alone.
+
+Every entry point takes an optional
+:class:`~repro.cache.store.ResultCache`: because each cell is a
+deterministic function of (builder, scheduler, config), a cached
+summary *is* the run's result, and a hit skips the simulation
+entirely.  With ``cache=None`` (the default) the code path is exactly
+the historical one, bit for bit.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.scenarios import (
     SCHEDULER_NAMES,
@@ -22,8 +29,12 @@ from repro.metrics.collectors import RunSummary, summarize
 from repro.xen.credit import SchedulerPolicy
 from repro.xen.simulator import Machine
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
+
 __all__ = [
     "ScenarioBuilder",
+    "execute_cell",
     "run_one",
     "compare",
     "compare_mean",
@@ -35,22 +46,56 @@ __all__ = [
 ScenarioBuilder = Callable[[SchedulerPolicy, ScenarioConfig], Machine]
 
 
-def run_one(
+def execute_cell(
     builder: ScenarioBuilder,
     scheduler: str,
     cfg: ScenarioConfig,
 ) -> RunSummary:
-    """Build and run one scenario under one scheduler."""
+    """Build and run one scenario under one scheduler, cache-blind.
+
+    This is the function worker processes execute: it never touches a
+    cache (the parent resolves hits and stores results), so workers
+    need no shared state beyond the picklable cell itself.
+    """
     policy = make_scheduler(scheduler)
     machine = builder(policy, cfg)
     machine.run()
     return summarize(machine)
 
 
+def run_one(
+    builder: ScenarioBuilder,
+    scheduler: str,
+    cfg: ScenarioConfig,
+    cache: Optional["ResultCache"] = None,
+) -> RunSummary:
+    """One scenario under one scheduler, via the cache when given.
+
+    A builder without a provable identity (see
+    :func:`repro.cache.keys.builder_fingerprint`) bypasses the cache
+    rather than risking a false hit.
+    """
+    if cache is not None:
+        from repro.cache.keys import result_key
+
+        key = result_key(builder, scheduler, cfg)
+        if key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            summary = execute_cell(builder, scheduler, cfg)
+            cache.put(
+                key, summary, meta={"scheduler": scheduler, "seed": cfg.seed}
+            )
+            return summary
+    return execute_cell(builder, scheduler, cfg)
+
+
 def compare(
     builder: ScenarioBuilder,
     cfg: ScenarioConfig,
     schedulers: Optional[Iterable[str]] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> Dict[str, RunSummary]:
     """Run the same scenario under several schedulers (paired seeds).
 
@@ -59,7 +104,7 @@ def compare(
     names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
     results: Dict[str, RunSummary] = {}
     for name in names:
-        results[name] = run_one(builder, name, cfg)
+        results[name] = run_one(builder, name, cfg, cache)
     return results
 
 
@@ -87,6 +132,7 @@ def compare_mean(
     schedulers: Optional[Iterable[str]] = None,
     seeds: Sequence[int] = (0, 1, 2),
     domain: str = "vm1",
+    cache: Optional["ResultCache"] = None,
 ) -> Dict[str, MeanStats]:
     """Seed-averaged comparison: smooths initial-placement luck.
 
@@ -100,7 +146,7 @@ def compare_mean(
     summaries: List[RunSummary] = []
     for seed in seeds:
         seeded = dataclasses.replace(cfg, seed=seed)
-        results = compare(builder, seeded, names)
+        results = compare(builder, seeded, names, cache)
         summaries.extend(results[name] for name in names)
     return aggregate_mean_stats(names, seeds, summaries, domain)
 

@@ -16,11 +16,14 @@ from __future__ import annotations
 from functools import partial
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.experiments.runner import run_one
 from repro.experiments.scenarios import ScenarioConfig, overhead_scenario
 from repro.metrics.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import ResultCache
 
 __all__ = ["TABLE3_VM_COUNTS", "Table3Result", "run", "PAPER_OVERHEAD_PCT"]
 
@@ -105,6 +108,7 @@ def run(
     cfg: Optional[ScenarioConfig] = None,
     vm_counts: Sequence[int] = TABLE3_VM_COUNTS,
     scheduler: str = "vprobe",
+    cache: Optional["ResultCache"] = None,
 ) -> Table3Result:
     """Measure vProbe's overhead-time percentage per VM count."""
     config = cfg or ScenarioConfig(work_scale=0.1)
@@ -113,7 +117,7 @@ def run(
     profiles = []
     for n in vm_counts:
         builder = partial(overhead_scenario, n)
-        summary = run_one(builder, scheduler, config)
+        summary = run_one(builder, scheduler, config, cache=cache)
         stats = summary.machine_stats
         pcts.append(stats.overhead_fraction * 100.0)
         breakdowns.append(dict(stats.overhead_s))

@@ -25,6 +25,7 @@ __all__ = [
     "build_manifest",
     "canonical_dumps",
     "config_hash",
+    "fault_fingerprint",
     "TraceFile",
     "trace_lines",
     "write_trace",
@@ -40,6 +41,7 @@ _LAZY = {
     "build_manifest": "repro.obs.manifest",
     "canonical_dumps": "repro.obs.manifest",
     "config_hash": "repro.obs.manifest",
+    "fault_fingerprint": "repro.obs.manifest",
     "TraceFile": "repro.obs.trace",
     "trace_lines": "repro.obs.trace",
     "write_trace": "repro.obs.trace",

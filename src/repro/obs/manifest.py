@@ -35,6 +35,7 @@ __all__ = [
     "canonical_dumps",
     "config_dict",
     "config_hash",
+    "fault_fingerprint",
     "fault_plan_dict",
 ]
 
@@ -87,6 +88,20 @@ def config_hash(config: SimConfig) -> str:
         k: v for k, v in config_dict(config).items() if k not in _NON_RESULT_FIELDS
     }
     digest = hashlib.sha256(canonical_dumps(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fault_fingerprint(plan: Optional[FaultPlan]) -> str:
+    """SHA-256 over a fault plan's canonical JSON (``"none"`` if fault-free).
+
+    ``config_hash`` already folds the plan in; this standalone form
+    exists for callers that key on the plan alone — the result cache
+    stores it so ``repro cache stats`` can group entries by fault plan
+    without re-deriving configs.
+    """
+    if plan is None:
+        return "none"
+    digest = hashlib.sha256(canonical_dumps(fault_plan_dict(plan)).encode("utf-8"))
     return digest.hexdigest()
 
 
