@@ -153,6 +153,15 @@ class ParallelRunner:
         Cells per submitted task when dispatching misses.  ``None``
         picks :func:`_auto_chunksize`; ``1`` forces the historical
         one-future-per-cell dispatch.
+    engine:
+        Optional engine selector (``"batched"``, ``"vector"`` or
+        ``"reference"``).  When set, every dispatched cell's config is
+        rewritten to run on that engine — the selector travels inside
+        the pickled :class:`ScenarioConfig`, so workers need no extra
+        plumbing.  ``None`` (default) respects each cell's own config.
+        Because the engines are bitwise-identical, the selector can
+        never change results, only wall time
+        (``tests/test_parallel.py`` pins this).
     """
 
     def __init__(
@@ -160,14 +169,21 @@ class ParallelRunner:
         jobs: int = 1,
         cache: Optional["ResultCache"] = None,
         chunksize: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if engine is not None and engine not in ("batched", "vector", "reference"):
+            raise ValueError(
+                "engine must be 'batched', 'vector', 'reference' or None, "
+                f"got {engine!r}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.chunksize = chunksize
+        self.engine = engine
         #: cell names recovered by serial retry in the latest
         #: :meth:`run_cells` call (empty on a clean parallel run)
         self.retried_cells: List[str] = []
@@ -237,6 +253,11 @@ class ParallelRunner:
         self.retried_cells = []
         self.cache_hits = 0
         self.cache_misses = 0
+        if self.engine is not None:
+            cells = [
+                (builder, scheduler, dataclasses.replace(cfg, engine=self.engine))
+                for builder, scheduler, cfg in cells
+            ]
         results: List[Optional[RunSummary]] = [None] * len(cells)
         try:
             keys, misses = self._lookup(cells, results)

@@ -92,7 +92,10 @@ class ScenarioConfig:
     latency:
         Memory latency model override.
     engine:
-        Simulator engine: ``"vector"`` (default) or ``"reference"``.
+        Simulator engine: ``"batched"`` (default, macro-stepping),
+        ``"vector"`` (singleton array kernels) or ``"reference"``
+        (scalar dict loop).  All three are bitwise-identical; the
+        default is simply the fastest.
     faults:
         Optional :class:`~repro.faults.plan.FaultPlan` injected into
         every machine built from this config; None (default) runs
@@ -112,7 +115,7 @@ class ScenarioConfig:
     epoch_s: float = 1e-3
     log_events: bool = False
     latency: LatencySpec = field(default_factory=LatencySpec)
-    engine: str = "vector"
+    engine: str = "batched"
     faults: Optional[FaultPlan] = None
     max_epochs: Optional[int] = None
     label: str = ""

@@ -222,6 +222,32 @@ class FaultInjector:
             )
 
     # ------------------------------------------------------------------
+    # Horizon queries (called by the batched engine)
+    # ------------------------------------------------------------------
+    def next_stall_epoch(self) -> Optional[int]:
+        """Earliest epoch index at which any PCPU's next stall fires.
+
+        ``None`` when the plan injects no stalls, or before the lazy
+        per-PCPU schedule exists (the first ``begin_epoch`` creates it,
+        so by the time a batch is sized the schedule is present).
+        Quiet epochs strictly before this index draw no RNG and charge
+        no overhead, so a macro-step may skip them.
+        """
+        if self._stall_rng is None or self._next_stall is None:
+            return None
+        return min(self._next_stall)
+
+    def next_crash_time(self) -> Optional[float]:
+        """Schedule time of the next pending domain crash (or ``None``).
+
+        ``begin_epoch`` fires a crash once ``now`` reaches this time;
+        epochs that end strictly before it cannot trigger it.
+        """
+        if self._crash_cursor >= len(self._pending_crashes):
+            return None
+        return self._pending_crashes[self._crash_cursor].at_time_s
+
+    # ------------------------------------------------------------------
     def stats(self) -> FaultStats:
         """Immutable snapshot of the fault events fired so far."""
         return FaultStats(

@@ -285,6 +285,46 @@ class LLCState:
             current = warmth.get(key, 0.0)
             warmth[key] = 1.0 - (1.0 - current) * charge
 
+    def advance_compact_batch(
+        self,
+        dt: float,
+        steps: int,
+        keys: Sequence[int],
+        final_warmth: Sequence[float],
+        key_set: AbstractSet[int] | None = None,
+    ) -> None:
+        """Commit ``steps`` quiet epochs of warmth evolution at once.
+
+        The caller (the batched engine) has already iterated the member
+        charge recurrence ``w <- 1 - (1 - w) * charge`` ``steps`` times
+        and passes the final values in ``final_warmth``; non-member keys
+        decay through the same sequential per-epoch multiplies the
+        per-epoch path performs.  The epsilon eviction check runs once
+        at the end, which is state-equivalent: decay is monotone, so a
+        key below the threshold at any interior epoch is below it at the
+        end too, and nothing reads non-member warmth mid-batch.
+        """
+        if dt != self._decay_dt:
+            self._decay_dt = dt
+            self._decay_factor = math.exp(-dt / self.DECAY_TIME) if dt > 0 else 1.0
+        decay = self._decay_factor
+        warmth = self._warmth
+        running = set(keys) if key_set is None else key_set
+        stale: List[int] = []
+        for key, w in warmth.items():
+            if key in running:
+                continue
+            for _ in range(steps):
+                w *= decay
+            if w < self._EPSILON:
+                stale.append(key)
+            else:
+                warmth[key] = w
+        for key in stale:
+            del warmth[key]
+        for key, final in zip(keys, final_warmth):
+            warmth[key] = final
+
     def evict(self, vcpu_key: int) -> None:
         """Forget a VCPU entirely (domain destroyed)."""
         self._warmth.pop(vcpu_key, None)
@@ -411,3 +451,14 @@ class CacheModel:
     ) -> None:
         """Fast-path :meth:`advance`; see :meth:`LLCState.advance_compact`."""
         self.state.advance_compact(dt, keys, charge_factors, key_set)
+
+    def advance_compact_batch(
+        self,
+        dt: float,
+        steps: int,
+        keys: Sequence[int],
+        final_warmth: Sequence[float],
+        key_set: AbstractSet[int] | None = None,
+    ) -> None:
+        """Batched advance; see :meth:`LLCState.advance_compact_batch`."""
+        self.state.advance_compact_batch(dt, steps, keys, final_warmth, key_set)

@@ -38,8 +38,13 @@ The canonical phases (see :data:`SCHEDULER_PHASES`):
     ``analyzer``/``partition`` phases must account for (the regression
     test pins their sum within 5 % of it).
 ``epoch``
-    One engine epoch batch (contention solve + progress), vector or
-    reference.
+    One engine advance (contention solve + progress) — a single epoch
+    on the reference/vector engines, a whole macro-step on the batched
+    engine.
+``horizon``
+    One :meth:`~repro.xen.engine.BatchedEngine.compute_horizon` call —
+    sizing the event-free epoch run the batched engine may advance in
+    one step.  Absent on the reference/vector engines.
 """
 
 from __future__ import annotations

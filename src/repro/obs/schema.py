@@ -62,7 +62,7 @@ TRACE_LINE_SCHEMAS: Dict[str, Dict[str, Any]] = {
             "policy": _STRING,
             "scenario": _STRING,
             "seed": _INT,
-            "engine": {"enum": ["vector", "reference"]},
+            "engine": {"enum": ["batched", "vector", "reference"]},
             "config_hash": _STRING,
             "config": {"type": "object"},
             "faults": {"type": ["object", "null"]},

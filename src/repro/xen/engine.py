@@ -53,7 +53,37 @@ from repro.xen.vcpu import Vcpu, VcpuState
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.xen.simulator import Machine
 
-__all__ = ["VectorEngine"]
+__all__ = ["VectorEngine", "BatchedEngine"]
+
+
+class _KeyArrays:
+    """Key-indexed ndarray mirrors of the engine's per-VCPU constants.
+
+    Rebuilt lazily once per phase generation so `_BatchInvariants` can
+    assemble its per-assignment vectors with a handful of fancy-index
+    gathers instead of per-element Python loops.  Fancy indexing copies
+    the exact float64 bits, so everything read from here is bitwise
+    identical to the scalar lists it mirrors.
+    """
+
+    __slots__ = (
+        "rpi", "cpi", "mlp", "conc", "anti", "drift", "keep",
+        "clock", "ns2c",
+    )
+
+    def __init__(self, engine: "VectorEngine") -> None:
+        self.rpi = np.array(engine.rpi)
+        self.cpi = np.array(engine.cpi_base)
+        self.mlp = np.array(engine.mlp)
+        conc = np.array(engine.conc)
+        self.conc = conc
+        # Elementwise (1.0 - x): identical bits to the scalar form.
+        self.anti = 1.0 - conc
+        drift = np.array(engine.drift_amount)
+        self.drift = drift
+        self.keep = 1.0 - drift
+        self.clock = np.array(engine.node_clock)
+        self.ns2c = np.array(engine.node_ns2c)
 
 
 class _Gather:
@@ -88,7 +118,9 @@ class _Gather:
         "node_charge",
         "node_positions",
         "node_solve",
+        "node_batch",
         "mix_groups",
+        "binv",
     )
 
     def __init__(self, engine: "VectorEngine", pcpus, vcpus, k: int) -> None:
@@ -151,6 +183,7 @@ class _Gather:
         self.node_member_sets = []
         self.node_charge = []
         self.node_solve = []
+        self.node_batch = []
         caches = engine.machine.caches
         for node in range(num_nodes):
             m = members[node]
@@ -158,21 +191,37 @@ class _Gather:
             entry = engine._node_cache.get(node_key)
             if entry is None:
                 demands = [engine.demand[key] for key in m]
+                charge_l = [engine.charge_factor[key] for key in m]
+                allocs = caches[node].occupancy_shares(demands)
+                ws_l = [d.working_set_bytes for d in demands]
+                minmr_l = [d.min_miss_rate for d in demands]
+                span_l = [d.max_miss_rate - d.min_miss_rate for d in demands]
+                shape_l = [d.curve_shape for d in demands]
+                # Batch-kernel constants, member-ordered.  The capped
+                # share `min(1.0, alloc / ws)` is exactly the scalar the
+                # reference recomputes every epoch — same inputs, same
+                # float — so it is safe to freeze per co-runner set.
+                share_l = [
+                    min(1.0, allocs[j] / ws_l[j]) if ws_l[j] > 0 else 0.0
+                    for j in range(len(m))
+                ]
                 entry = (
                     frozenset(m),
-                    [engine.charge_factor[key] for key in m],
+                    charge_l,
+                    (allocs, ws_l, minmr_l, span_l, shape_l),
                     (
-                        caches[node].occupancy_shares(demands),
-                        [d.working_set_bytes for d in demands],
-                        [d.min_miss_rate for d in demands],
-                        [d.max_miss_rate - d.min_miss_rate for d in demands],
-                        [d.curve_shape for d in demands],
+                        np.array([share_l, minmr_l, span_l, charge_l]),
+                        tuple(j for j, ws in enumerate(ws_l) if ws <= 0),
+                        tuple(
+                            (j, s) for j, s in enumerate(shape_l) if s != 1.0
+                        ),
                     ),
                 )
                 engine._node_cache[node_key] = entry
             self.node_member_sets.append(entry[0])
             self.node_charge.append(entry[1])
             self.node_solve.append(entry[2])
+            self.node_batch.append(entry[3])
 
         # Page-mix gather plan.  Dual-socket machines get direct
         # references to each VCPU's placement-mirror row (stable list
@@ -207,6 +256,9 @@ class _Gather:
                 plan = (groups, None, None)
             engine._mix_cache[keys_t] = plan
         self.mix_groups, self.mix_row_src, self.mix_over_src = plan
+        #: lazily-built macro-step constants (see _BatchInvariants);
+        #: sharing the gather's cache slot keeps one memo per signature.
+        self.binv = None
 
 
 class VectorEngine:
@@ -217,6 +269,10 @@ class VectorEngine:
     machine state once, after which per-epoch work touches only the
     VCPUs that are actually running, waking or changing phase.
     """
+
+    #: True on engines that implement compute_horizon/advance_batch;
+    #: the stepper consults it before attempting a macro-step.
+    supports_batch = False
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
@@ -246,20 +302,30 @@ class VectorEngine:
         self.demand: List[Optional[CacheDemand]] = [None] * n
         self.charge_factor: List[float] = [1.0] * n
         self._generation = 0
+        #: per-key phase generation: bumped by refresh_vcpu(), woven
+        #: into the gather signature so a phase change invalidates only
+        #: the cached assignments that include the changed VCPU —
+        #: everyone else's memos survive.
+        self.key_gen: List[int] = [0] * n
         # Cached per-running-set gathers (see _Gather).  Assignments
         # recur as queues rotate, so gathers are memoised by signature;
-        # the phase generation is part of the signature, and the cache
-        # is flushed on phase change to drop the stale entries.
+        # the per-key generations in the signature strand stale entries
+        # (the size cap eventually drops them).
         self._gather: Optional[_Gather] = None
         self._gather_sig: Optional[Tuple] = None
         self._gather_cache: Dict[Tuple, _Gather] = {}
         # Sub-memos shared across gathers.  The first two depend only on
         # immutable profile/topology facts; the last two are phase-
-        # dependent and flushed alongside the gather cache.
+        # dependent, so refresh_vcpu() evicts their entries mentioning
+        # the refreshed key.
         self._conc_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
         self._pmu_rows_cache: Dict[Tuple, np.ndarray] = {}
         self._node_cache: Dict[Tuple, Tuple] = {}
         self._mix_cache: Dict[Tuple, List] = {}
+        # ndarray mirrors of the per-key lists, rebuilt lazily when the
+        # phase generation moves (see _KeyArrays / key_arrays()).
+        self._key_arrays: Optional[_KeyArrays] = None
+        self._key_arrays_gen = -1
         for vcpu in vcpus:
             self.refresh_vcpu(vcpu)
 
@@ -322,9 +388,25 @@ class VectorEngine:
         tau = max(1e-4, demand.working_set_bytes / LLCState.FILL_BANDWIDTH)
         self.charge_factor[key] = math.exp(-self.epoch / tau)
         self._generation += 1
-        self._gather_cache.clear()
-        self._node_cache.clear()
-        self._mix_cache.clear()
+        self.key_gen[key] += 1
+        # Selective eviction: only memos that embed this key's phase-
+        # dependent data (demand, charge factor, slice id) are stale.
+        # Gather-cache entries mentioning the key become unreachable
+        # through their per-key-generation signatures; the size cap
+        # reclaims them.
+        node_cache = self._node_cache
+        for nk in [nk for nk in node_cache if key in nk[1]]:
+            del node_cache[nk]
+        mix_cache = self._mix_cache
+        for kt in [kt for kt in mix_cache if key in kt]:
+            del mix_cache[kt]
+
+    def key_arrays(self) -> _KeyArrays:
+        """Current-generation ndarray mirrors of the per-key constants."""
+        if self._key_arrays_gen != self._generation:
+            self._key_arrays = _KeyArrays(self)
+            self._key_arrays_gen = self._generation
+        return self._key_arrays
 
     # ------------------------------------------------------------------
     # Event-driven scans
@@ -411,7 +493,12 @@ class VectorEngine:
             return
 
         # Look up (or build) the per-assignment gather.
-        sig = (self._generation, tuple(sig_keys), tuple(sig_pids))
+        kg = self.key_gen
+        sig = (
+            tuple(sig_keys),
+            tuple(sig_pids),
+            tuple(kg[key] for key in sig_keys),
+        )
         if sig != self._gather_sig:
             cache = self._gather_cache
             gather = cache.get(sig)
@@ -608,3 +695,710 @@ class VectorEngine:
                 gather.node_charge[node_id],
                 gather.node_member_sets[node_id],
             )
+
+
+class _BatchInvariants:
+    """Per-assignment constants of the macro-step kernels.
+
+    Everything here is derivable from the :class:`_Gather` (plus the
+    per-domain grouping of the running set), so it lives on the gather
+    (``gather.binv``) and shares its lifetime and memoisation
+    signature.  Assignment churn makes these builds frequent on busy
+    machines, so every per-VCPU vector is gathered from the engine's
+    key-indexed :class:`_KeyArrays` with fancy indexing — exact bit
+    copies of the scalar constants — instead of Python-level loops.
+    """
+
+    __slots__ = (
+        "rpi",
+        "cpi",
+        "mlp",
+        "clock",
+        "ns2c",
+        "conc2",
+        "anti2",
+        "keep2",
+        "add2",
+        "indep_drift",
+        "alias_groups",
+        "dom_groups",
+        "mask0",
+        "share",
+        "minmr",
+        "span",
+        "cf",
+        "ws_bad",
+        "shaped",
+        "node_pos_arr",
+    )
+
+    def __init__(
+        self,
+        engine: "VectorEngine",
+        gather: _Gather,
+        running_vcpus: List[Vcpu],
+    ) -> None:
+        k = len(running_vcpus)
+        g = engine.key_arrays()
+        idx = np.array(gather.keys)
+        nd = np.array(gather.node_of)
+        self.rpi = g.rpi[idx]
+        self.cpi = g.cpi[idx]
+        self.mlp = g.mlp[idx]
+        self.clock = g.clock[nd]
+        self.ns2c = g.ns2c[nd]
+        # Doubled columns ([node-0 | node-1] halves of the RR/OO mix
+        # matrices) share each VCPU's concentration scalars.
+        conc = g.conc[idx]
+        anti = g.anti[idx]
+        self.conc2 = np.concatenate((conc, conc))
+        self.anti2 = np.concatenate((anti, anti))
+        mask0 = nd == 0
+        self.mask0 = mask0
+
+        # Aliased placement rows: several running VCPUs reading (and
+        # possibly drifting) the same row object.  Their columns cannot
+        # evolve independently — the batch replays the row's exact
+        # per-epoch update sequence on Python scalars instead.  `keep`
+        # is precomputed as the same `1.0 - amount` the reference
+        # evaluates inside drift_slice_fast.
+        drift = gather.drift
+        node_of = gather.node_of
+        row_src = gather.mix_row_src
+        by_row: Dict[int, List[int]] = {}
+        for i in range(k):
+            by_row.setdefault(id(row_src[i]), []).append(i)
+        self.alias_groups = []
+        alias_cols: Set[int] = set()
+        for cols in by_row.values():
+            if len(cols) < 2:
+                continue
+            upd = [
+                (i, 1.0 - drift[i], drift[i], node_of[i])
+                for i in cols
+                if drift[i] > 0.0
+            ]
+            if not upd:
+                continue  # nobody drifts it: the row is constant
+            num_slices = running_vcpus[cols[0]].domain.placement.num_slices
+            self.alias_groups.append((cols, upd, num_slices))
+            alias_cols.update(cols)
+
+        # Independently-owned rows as a linear per-epoch map: row' =
+        # row * keep + add.  VCPUs without drift (and aliased columns,
+        # overwritten by the scalar replay) get keep=1, add=0 — `x *
+        # 1.0` and `x + 0.0` are bitwise identities for the
+        # non-negative row values, so one fused update covers all
+        # columns.  (`np.where` selects the stored drift floats
+        # verbatim; a zero-drift VCPU contributes the same 0.0 either
+        # way.)
+        drift_v = g.drift[idx]
+        keep_v = g.keep[idx]
+        add0 = np.where(mask0, drift_v, 0.0)
+        add1 = np.where(mask0, 0.0, drift_v)
+        if alias_cols:
+            cols = list(alias_cols)
+            keep_v[cols] = 1.0
+            add0[cols] = 0.0
+            add1[cols] = 0.0
+        self.keep2 = np.concatenate((keep_v, keep_v))
+        self.add2 = np.concatenate((add0, add1))
+        self.indep_drift = bool((keep_v != 1.0).any())
+
+        # Running VCPUs grouped by domain (the shared `overall` mix
+        # they drift), in running order — the order the reference's
+        # per-epoch progress pass applies their drift increments.  Each
+        # group carries the overrides for its aliased columns: a
+        # non-drifting reader contributes no increment even though its
+        # row moves, and an aliased drifter's increments come from the
+        # scalar replay (its row deltas interleave with its co-owners').
+        col_override: Dict[int, Tuple[int, int]] = {}
+        for gi, (cols, upd, _ns) in enumerate(self.alias_groups):
+            upd_pos = {t[0]: ui for ui, t in enumerate(upd)}
+            for c in cols:
+                col_override[c] = (gi, upd_pos.get(c, -1))
+        groups: Dict[int, list] = {}
+        for i in range(k):
+            over = gather.mix_over_src[i]
+            group = groups.get(id(over))
+            if group is None:
+                placement = running_vcpus[i].domain.placement
+                group = [over, [], placement, placement.num_slices, False]
+                groups[id(over)] = group
+            group[1].append(i)
+            if drift[i] > 0.0:
+                group[4] = True
+        self.dom_groups = []
+        for over, idxs, placement, num_slices, has_drift in groups.values():
+            ovr = tuple(
+                (p, *col_override[c])
+                for p, c in enumerate(idxs)
+                if c in col_override
+            )
+            self.dom_groups.append(
+                (over, idxs, placement, num_slices, has_drift, ovr)
+            )
+
+        # Flattened miss-curve constants, gather-position-ordered so the
+        # warmth/miss kernels run once over all nodes.  The member-
+        # ordered (share, minmr, span, charge) rows are prebuilt per
+        # co-runner set in the engine's node cache; scattering them to
+        # gather positions is two fancy assignments.
+        mc = np.empty((4, k))
+        ws_bad = []
+        shaped = []
+        self.node_pos_arr = []
+        for node_id, members in enumerate(gather.node_members):
+            if not members:
+                self.node_pos_arr.append(None)
+                continue
+            positions = gather.node_positions[node_id]
+            pos = np.array(positions)
+            self.node_pos_arr.append(pos)
+            mcn, bad_j, shaped_j = gather.node_batch[node_id]
+            mc[:, pos] = mcn
+            for j in bad_j:
+                ws_bad.append(positions[j])
+            for j, shape in shaped_j:
+                shaped.append((positions[j], shape))
+        self.share = mc[0]
+        self.minmr = mc[1]
+        self.span = mc[2]
+        self.cf = mc[3]
+        self.ws_bad = tuple(ws_bad)
+        self.shaped = tuple(shaped)
+
+
+class BatchedEngine(VectorEngine):
+    """Macro-stepping engine: one 2D kernel pass per quiet-epoch run.
+
+    Extends :class:`VectorEngine` with an *event horizon*: the number of
+    upcoming epochs guaranteed free of discrete events — scheduler
+    ticks, sampling boundaries, wakeups, phase changes, finite-work
+    completions, run-burst expiries, fault stalls/crashes, the epoch cap
+    and the run's time limit.  All ``K`` quiet epochs advance in one
+    batch of (epochs x running VCPUs) array kernels.
+
+    The bitwise contract survives batching because inside the horizon
+    every epoch applies the *same* elementwise recurrences to the same
+    running set: per-VCPU trajectories (warmth, placement drift, page
+    mix, miss rate, fixed-point rates) vectorize along the epoch axis,
+    while every ordered reduction — IMC/QPI traffic, busy time, PMU bank
+    accumulation, the per-domain `overall` drift chain — is reproduced
+    as a sequential ``cumsum`` in the reference's exact accumulation
+    order.  Scheduler RNG parity is kept by replaying the (no-op) steal
+    calls idle PCPUs would make each interior epoch.
+
+    Topologies other than the paper's dual-socket host fall back to
+    singleton stepping (``compute_horizon`` returns 1), which is the
+    inherited :class:`VectorEngine` path.
+    """
+
+    supports_batch = True
+
+    #: horizons at or below this replay the singleton path instead of
+    #: launching the 2D kernels: a short batch cannot amortise the
+    #: kernels' fixed dispatch cost, and the replay is bitwise-exact by
+    #: construction (it *is* the singleton path, minus event checks the
+    #: horizon already proved are no-ops).  Measured break-even on the
+    #: steady-state SPEC scenario sits between 4 and 5 epochs.
+    _REPLAY_MAX = 4
+
+    def __init__(self, machine: "Machine") -> None:
+        super().__init__(machine)
+        self._cache_advance_batch = [
+            cache.state.advance_compact_batch for cache in machine.caches
+        ]
+
+    # ------------------------------------------------------------------
+    # Event horizon
+    # ------------------------------------------------------------------
+    def compute_horizon(self, now: float, limit: float) -> int:
+        """Quiet epochs (including the current one) safe to macro-step.
+
+        Called after the stepper has run this epoch's fault, tick, wake
+        and scheduling phases; returns 1 whenever any discrete event
+        could fire before the batch would end.
+        """
+        machine = self.machine
+        if not self.two_node:
+            return 1
+        e0 = machine.epoch_index
+        epoch = self.epoch
+        kb = machine._epochs_per_tick - (e0 % machine._epochs_per_tick)
+        ks = machine._epochs_per_sample - (e0 % machine._epochs_per_sample)
+        if ks < kb:
+            kb = ks
+        cap = machine.config.max_epochs
+        if cap is not None and cap - e0 < kb:
+            kb = cap - e0
+        crash_time = math.inf
+        faults = machine.faults
+        if faults is not None:
+            if faults.plan.stall_rate > 0:
+                next_stall = faults.next_stall_epoch()
+                if next_stall is None:
+                    return 1
+                if next_stall - e0 < kb:
+                    kb = next_stall - e0
+            next_crash = faults.next_crash_time()
+            if next_crash is not None:
+                crash_time = next_crash
+        if kb <= 1:
+            return 1
+
+        # Running-set floors.  Completions stay *exclusive*: with rates
+        # bounded by clock / cpi_base (the queueing stall is
+        # non-negative), a one-epoch margin under each finite-work
+        # budget guarantees no completion fires at any batch epoch.
+        # Run-burst expiries are *inclusive*: the budget drains by
+        # exactly one epoch per step regardless of contention, so the
+        # expiry epoch is known in advance — the batch may end ON it and
+        # fire the block transition at the batch boundary.
+        idle = False
+        for pcpu in machine.pcpus:
+            cur = pcpu.current
+            if cur is None:
+                idle = True
+                continue
+            key = cur.key
+            w = cur.workload
+            total = w.profile.total_instructions
+            if total is not None:
+                remaining = total - w.instructions_done
+                rate_max = self.node_clock[pcpu.node] / self.cpi_base[key]
+                floor = int(remaining / (rate_max * epoch)) - 1
+                if floor < kb:
+                    kb = floor
+            burst = cur.run_burst_remaining_s
+            if burst <= (kb + 1) * epoch:
+                # Expiry may land inside the window: replay the exact
+                # per-epoch subtraction chain (`x -= epoch`, the same
+                # sequential float ops the progress pass performs) to
+                # find the first epoch whose end leaves the budget at
+                # or below zero, and end the batch there.
+                x = burst
+                for j in range(kb):
+                    x -= epoch
+                    if x <= 0.0:
+                        kb = j + 1
+                        break
+            if kb <= 1:
+                return 1
+        if idle:
+            # After a scheduling pass an idle PCPU implies every queue
+            # is empty (the pass steals unconditionally); guard the
+            # invariant anyway — queued work next to an idle PCPU means
+            # rescheduling activity every epoch.
+            for pcpu in machine.pcpus:
+                if pcpu.queue.head_rank() is not None:
+                    return 1
+
+        # Time-driven events: walk the exact epoch-end trajectory (the
+        # same sequential float adds the stepper performs) against the
+        # wake heap, the phase heap, the crash schedule and the run
+        # limit.  A phase change due at a batch-final epoch end is fine:
+        # the stepper applies phase changes once at the batch end.
+        wake = self.wake_heap[0][0] if self.wake_heap else math.inf
+        phase = self.phase_heap[0][0] if self.phase_heap else math.inf
+        t = now
+        j = 0
+        while j < kb:
+            if j > 0 and (
+                wake <= t or crash_time <= t or t >= limit - 1e-12
+            ):
+                kb = j
+                break
+            t_next = t + epoch
+            if phase <= t_next:
+                kb = j + 1
+                break
+            t = t_next
+            j += 1
+        return kb if kb > 1 else 1
+
+    # ------------------------------------------------------------------
+    # Batched advance
+    # ------------------------------------------------------------------
+    def advance_batch(self, now: float, epoch: float, kb: int) -> float:
+        """Advance ``kb`` quiet epochs in one batch; returns the batch end.
+
+        The caller (the stepper) has already run this epoch's pre-solve
+        phases and guarantees — via :meth:`compute_horizon` — that no
+        discrete event fires strictly inside the batch.
+        """
+        machine = self.machine
+        profiler = machine.profiler
+        policy = machine.policy
+
+        if kb <= self._REPLAY_MAX:
+            # Short horizon: replay the per-epoch path directly.  Each
+            # interior epoch runs the (no-op) idle-PCPU steal attempts
+            # the reference's scheduling pass would make, then the
+            # inherited singleton advance — the same calls in the same
+            # order, so equality is by construction rather than by
+            # kernel proof.
+            t = now
+            for j in range(kb):
+                if j > 0:
+                    for pcpu in machine.pcpus:
+                        if pcpu.current is None:
+                            t0 = profiler.start()
+                            policy.steal(pcpu, t, under_only=False)
+                            profiler.stop("balance", t0)
+                self.advance_running(t, epoch)
+                t = t + epoch
+            return t
+
+        # Epoch-boundary times: exactly the `end = now + epoch` chain the
+        # singleton stepper would accumulate.
+        times = [now]
+        t = now
+        for _ in range(kb):
+            t = t + epoch
+            times.append(t)
+        end_batch = times[-1]
+
+        running_pcpus = []
+        running_vcpus = []
+        sig_keys = []
+        sig_pids = []
+        idle_pcpus = []
+        for pcpu in machine.pcpus:
+            cur = pcpu.current
+            if cur is not None:
+                running_pcpus.append(pcpu)
+                running_vcpus.append(cur)
+                sig_keys.append(cur.key)
+                sig_pids.append(pcpu.pcpu_id)
+            else:
+                idle_pcpus.append(pcpu)
+        k = len(running_vcpus)
+
+        # Interior scheduling passes: running PCPUs are untouched (their
+        # VCPU stays runnable all batch), but each idle PCPU makes one
+        # steal attempt per epoch.  With every queue empty those calls
+        # cannot succeed or mutate queues — they exist to keep the
+        # scheduler's RNG draw sequence (e.g. credit.steal's
+        # permutation) aligned with the reference, epoch by epoch.
+        if idle_pcpus:
+            for j in range(1, kb):
+                tj = times[j]
+                for pcpu in idle_pcpus:
+                    t0 = profiler.start()
+                    policy.steal(pcpu, tj, under_only=False)
+                    profiler.stop("balance", t0)
+
+        if k == 0:
+            # Nothing ran: warmth decays epoch by epoch on every LLC.
+            for _ in range(kb):
+                for advance in self._cache_advance:
+                    advance(epoch, (), ())
+            return end_batch
+
+        kg = self.key_gen
+        sig = (
+            tuple(sig_keys),
+            tuple(sig_pids),
+            tuple(kg[key] for key in sig_keys),
+        )
+        if sig != self._gather_sig:
+            cache = self._gather_cache
+            gather = cache.get(sig)
+            if gather is None:
+                gather = _Gather(self, running_pcpus, running_vcpus, k)
+                machine.profiler.count("gather_build")
+                if len(cache) >= 1024:
+                    cache.clear()
+                cache[sig] = gather
+            self._gather = gather
+            self._gather_sig = sig
+        else:
+            gather = self._gather
+        inv = gather.binv
+        if inv is None:
+            inv = _BatchInvariants(self, gather, running_vcpus)
+            gather.binv = inv
+
+        # --- Warmth + drift trajectories -------------------------------
+        # W[t, i] is VCPU i's warmth entering batch epoch t: the
+        # reference reads warmth *before* each epoch's end-of-epoch
+        # charge, so row t uses t charge applications.  RR packs both
+        # placement-row components as [node-0 cols | node-1 cols];
+        # independently-owned rows evolve with one fused linear update.
+        # Both recurrences share one loop over the epoch axis.
+        warmth_tables = self._warmth_tables
+        warm = np.empty(k)
+        for node_id, members in enumerate(gather.node_members):
+            if members:
+                table = warmth_tables[node_id]
+                warm[inv.node_pos_arr[node_id]] = [
+                    table.get(key, 0.0) for key in members
+                ]
+        row_src = gather.mix_row_src
+        rr = np.array(
+            [row[0] for row in row_src] + [row[1] for row in row_src]
+        )
+        W = np.empty((kb + 1, k))
+        RR = np.empty((kb + 1, 2 * k))
+        cf = inv.cf
+        wtmp = np.empty(k)
+        # In-place recurrences (subtract/multiply with out=) are the
+        # same ufunc applications as the expression forms, per element.
+        W[0] = warm
+        if inv.indep_drift:
+            keep2 = inv.keep2
+            add2 = inv.add2
+            rtmp = np.empty(2 * k)
+            RR[0] = rr
+            for tt in range(kb):
+                np.subtract(1.0, W[tt], out=wtmp)
+                np.multiply(wtmp, cf, out=wtmp)
+                np.subtract(1.0, wtmp, out=W[tt + 1])
+                np.multiply(RR[tt], keep2, out=rtmp)
+                np.add(rtmp, add2, out=RR[tt + 1])
+        else:
+            RR[:] = rr
+            for tt in range(kb):
+                np.subtract(1.0, W[tt], out=wtmp)
+                np.multiply(wtmp, cf, out=wtmp)
+                np.subtract(1.0, wtmp, out=W[tt + 1])
+        warm = W[kb]
+        W = W[:kb]
+        F = inv.share * W
+        for pos in inv.ws_bad:
+            F[:, pos] = 1.0
+        missing = 1.0 - F
+        for pos, shape in inv.shaped:
+            # Python-float pow only: ndarray ** float rounds
+            # differently from the scalar `(1 - f) ** shape`.
+            missing[:, pos] = [
+                base ** shape for base in missing[:, pos].tolist()
+            ]
+        M = inv.minmr + inv.span * missing
+        R0 = RR[:, :k]
+        R1 = RR[:, k:]
+
+        # Aliased rows: replay the exact per-epoch update sequence in
+        # running order on Python scalars (the same ops
+        # drift_slice_fast performs); every reader column shares the
+        # row's trajectory and every drifter records its own `overall`
+        # increments, already divided by num_slices.
+        alias_inc = []
+        for cols, upd, num_slices in inv.alias_groups:
+            row = row_src[cols[0]]
+            r0 = row[0]
+            r1 = row[1]
+            traj0 = [r0]
+            traj1 = [r1]
+            inc0 = [[] for _ in upd]
+            inc1 = [[] for _ in upd]
+            for _tt in range(kb):
+                for u, (_ci, keep, amount, node) in enumerate(upd):
+                    n0 = r0 * keep
+                    n1 = r1 * keep
+                    if node == 0:
+                        n0 = n0 + amount
+                    else:
+                        n1 = n1 + amount
+                    inc0[u].append((n0 - r0) / num_slices)
+                    inc1[u].append((n1 - r1) / num_slices)
+                    r0 = n0
+                    r1 = n1
+                traj0.append(r0)
+                traj1.append(r1)
+            for ci in cols:
+                R0[:, ci] = traj0
+                R1[:, ci] = traj1
+            alias_inc.append((inc0, inc1))
+
+        OO = np.empty((kb, 2 * k))
+        O0 = OO[:, :k]
+        O1 = OO[:, k:]
+        over_chains = []
+        DR = None
+        for over, idxs, placement, num_slices, has_drift, ovr in inv.dom_groups:
+            if not has_drift:
+                O0[:, idxs] = over[0]
+                O1[:, idxs] = over[1]
+                continue
+            m = len(idxs)
+            # Per-epoch, per-member `overall += (new - old) / num_slices`
+            # increments, flattened epoch-major in running order — the
+            # exact sequence of adds the reference's progress pass makes
+            # — then one cumsum gives every intermediate chain state.
+            # Aliased columns are overridden: non-drifting readers add
+            # nothing, aliased drifters use their replayed increments.
+            # The row deltas are hoisted across groups (one subtraction
+            # over the packed RR matrix).
+            if DR is None:
+                DR = RR[1:] - RR[:-1]
+            D0 = DR[:, idxs] / num_slices
+            D1 = DR[:, [i + k for i in idxs]] / num_slices
+            for p, gi, ui in ovr:
+                if ui < 0:
+                    D0[:, p] = 0.0
+                    D1[:, p] = 0.0
+                else:
+                    g_inc0, g_inc1 = alias_inc[gi]
+                    D0[:, p] = g_inc0[ui]
+                    D1[:, p] = g_inc1[ui]
+            chains = np.empty((2, kb * m + 1))
+            chains[0, 0] = over[0]
+            chains[0, 1:] = D0.ravel()
+            chains[1, 0] = over[1]
+            chains[1, 1:] = D1.ravel()
+            ch = np.cumsum(chains, axis=1)
+            O0[:, idxs] = ch[0, ::m][:kb, None]
+            O1[:, idxs] = ch[1, ::m][:kb, None]
+            over_chains.append((over, placement, ch[0, -1], ch[1, -1]))
+
+        mm = inv.conc2 * RR[:kb] + inv.anti2 * OO
+        s = mm[:, :k] + mm[:, k:]
+        mix0 = mm[:, :k] / s
+        mix1 = mm[:, k:] / s
+
+        # --- Fixed point: rates -> traffic -> queueing -> rates --------
+        lat = machine.config.latency
+        rpi = inv.rpi
+        node_of = gather.node_of
+        mask0 = inv.mask0
+        # (1 - M) * hit_ns is round-invariant; hoisting it keeps the
+        # reference's op order (it is the same first two ops).
+        base_ref = (1.0 - M) * lat.llc_hit_ns
+        penalty = np.full((kb, k), lat.local_dram_ns)
+        memsolve = machine.memsys.solve_compact_batch
+        for _ in range(machine.config.contention_iterations - 1):
+            per_ref_ns = base_ref + M * penalty
+            rates = inv.clock / (
+                inv.cpi + rpi * per_ref_ns * inv.ns2c / inv.mlp
+            )
+            traffic = rates * rpi * M * BYTES_PER_MISS
+            penalty = memsolve(traffic, node_of, mix0, mix1, local_mask=mask0)
+        per_ref_ns = base_ref + M * penalty
+        rates = inv.clock / (inv.cpi + rpi * per_ref_ns * inv.ns2c / inv.mlp)
+
+        # --- Progress pass 1: compute budgets and busy time ------------
+        # Pending hypervisor overhead is rare inside a batch; the common
+        # case multiplies by the scalar epoch (bitwise identical to a
+        # full matrix of epochs).
+        compute = None
+        for i in range(k):
+            pcpu = running_pcpus[i]
+            pending = pcpu.overhead_pending_s
+            if pending > 0.0:
+                if compute is None:
+                    compute = np.full((kb, k), epoch)
+                col = compute[:, i]
+                for tt in range(kb):
+                    if pending <= 0.0:
+                        break
+                    used = pending if pending < epoch else epoch
+                    pending = pending - used
+                    col[tt] = epoch - used
+                pcpu.overhead_pending_s = pending
+
+        # The horizon's one-epoch margin guarantees the reference's
+        # remaining-work clamp never binds inside the batch.
+        done = rates * epoch if compute is None else rates * compute
+        refs = done * rpi
+        misses = refs * M
+
+        # --- PMU charges -----------------------------------------------
+        acc0 = misses * mix0
+        acc1 = misses * mix1
+        machine.pmu.charge_epoch_batch(
+            gather.keys,
+            done,
+            refs,
+            misses,
+            acc0,
+            acc1,
+            node_of,
+            gather.pmu_rows,
+            local_mask=mask0,
+        )
+
+        # --- Progress passes: busy time, retired work, drift commit ----
+        # One seeded cumsum covers every per-column accumulator chain
+        # (busy time, instructions, slice usage, burst budget): columns
+        # are independent, so packing them side by side is bitwise
+        # neutral, and `x - epoch == x + (-epoch)` exactly.
+        chain = np.empty((kb + 1, 4 * k))
+        chain[0, :k] = [p.busy_time_s for p in running_pcpus]
+        chain[0, k : 2 * k] = [
+            v.workload.instructions_done for v in running_vcpus
+        ]
+        chain[0, 2 * k : 3 * k] = [v.slice_used_s for v in running_vcpus]
+        chain[0, 3 * k :] = [v.run_burst_remaining_s for v in running_vcpus]
+        body = chain[1:]
+        body[:, :k] = epoch
+        body[:, k : 2 * k] = done
+        body[:, 2 * k : 3 * k] = epoch
+        body[:, 3 * k :] = -epoch
+        final = np.cumsum(chain, axis=0)[-1].tolist()
+        for i in range(k):
+            running_pcpus[i].busy_time_s = final[i]
+            vcpu = running_vcpus[i]
+            vcpu.workload.instructions_done = final[k + i]
+            vcpu.slice_used_s = final[2 * k + i]
+            vcpu.run_burst_remaining_s = final[3 * k + i]
+        machine_busy = np.empty(kb * k + 1)
+        machine_busy[0] = machine.busy_time_s
+        machine_busy[1:] = epoch
+        machine.busy_time_s = float(np.cumsum(machine_busy)[-1])
+
+        if inv.indep_drift or inv.alias_groups:
+            drift = gather.drift
+            r0_final = R0[kb].tolist()
+            r1_final = R1[kb].tolist()
+            for i in range(k):
+                if drift[i] > 0.0:
+                    row = row_src[i]
+                    row[0] = r0_final[i]
+                    row[1] = r1_final[i]
+            for over, placement, o0, o1 in over_chains:
+                over[0] = float(o0)
+                over[1] = float(o1)
+                placement._np_stale = True
+
+        # --- Batch-final transitions -----------------------------------
+        # The horizon's burst cap is *inclusive*: a run-burst that
+        # drains to zero at the batch-final epoch blocks here, with the
+        # same transition sequence (and per-VCPU order) the reference's
+        # progress pass applies at that epoch.  Completions cannot fire
+        # inside a batch (the horizon's exclusive finite-work floor),
+        # so the mirrored `if` arm is a guard, not a live path.
+        totals = gather.totals
+        log = machine.log
+        for i in range(k):
+            vcpu = running_vcpus[i]
+            w = vcpu.workload
+            total = totals[i]
+            if total is not None and w.instructions_done >= total:
+                pcpu = running_pcpus[i]
+                vcpu.mark_done(end_batch)
+                pcpu.current = None
+                machine.context_switches += 1
+                policy.on_context_switch(pcpu, vcpu, None)
+                log.emit(end_batch, "finish", vcpu=vcpu.name)
+                self.finite_remaining -= 1
+            elif vcpu.run_burst_remaining_s <= 0:
+                pcpu = running_pcpus[i]
+                vcpu.block_until(end_batch + w.draw_block_time())
+                self.push_wake(vcpu)
+                pcpu.current = None
+                machine.context_switches += 1
+                policy.on_context_switch(pcpu, vcpu, None)
+
+        # --- LLC warmth commit -----------------------------------------
+        for node_id, members in enumerate(gather.node_members):
+            pos = inv.node_pos_arr[node_id]
+            self._cache_advance_batch[node_id](
+                epoch,
+                kb,
+                members,
+                warm[pos].tolist() if pos is not None else (),
+                gather.node_member_sets[node_id],
+            )
+        return end_batch

@@ -33,7 +33,7 @@ from repro.util.rng import RngStreams
 from repro.util.validation import check_positive
 from repro.xen.credit import SchedulerPolicy
 from repro.xen.domain import Domain
-from repro.xen.engine import VectorEngine
+from repro.xen.engine import BatchedEngine, VectorEngine
 from repro.xen.memalloc import MemoryPlacement
 from repro.xen.pcpu import Pcpu
 from repro.xen.vcpu import Vcpu, VcpuState
@@ -85,13 +85,17 @@ class SimConfig:
     stop_on_finite_completion:
         Stop once every finite active workload has completed.
     engine:
-        ``"vector"`` (default) runs epochs through the
+        ``"batched"`` runs epochs through the macro-stepping
+        :class:`~repro.xen.engine.BatchedEngine`, which advances whole
+        event-free epoch runs in one 2D kernel pass; ``"vector"``
+        (default here, for compatibility — scenario configs default to
+        batched) steps one epoch at a time through the
         structure-of-arrays :class:`~repro.xen.engine.VectorEngine`;
-        ``"reference"`` keeps the original dict-based loop.  Both
+        ``"reference"`` keeps the original dict-based loop.  All three
         produce bitwise-identical simulated results — including fault
         runs, whose hooks live above the engine layer; the reference
-        path exists as the executable specification the vector engine
-        is tested against.
+        path exists as the executable specification the fast engines
+        are tested against.
     faults:
         Optional :class:`~repro.faults.plan.FaultPlan`; its injector
         draws from dedicated ``faults.*`` streams of the run seed, so
@@ -135,9 +139,10 @@ class SimConfig:
             raise ValueError("contention_iterations must be >= 1")
         if self.pmu_collection_cost_s < 0:
             raise ValueError("pmu_collection_cost_s must be >= 0")
-        if self.engine not in ("vector", "reference"):
+        if self.engine not in ("batched", "vector", "reference"):
             raise ValueError(
-                f"engine must be 'vector' or 'reference', got {self.engine!r}"
+                "engine must be 'batched', 'vector' or 'reference', "
+                f"got {self.engine!r}"
             )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError(
@@ -435,9 +440,12 @@ class Machine:
     # Main loop
     # ------------------------------------------------------------------
     def _ensure_engine(self) -> Optional[VectorEngine]:
-        """The machine's VectorEngine (built on demand), or None."""
-        if self._engine is None and self.config.engine == "vector":
-            self._engine = VectorEngine(self)
+        """The machine's epoch engine (built on demand), or None."""
+        if self._engine is None:
+            if self.config.engine == "batched":
+                self._engine = BatchedEngine(self)
+            elif self.config.engine == "vector":
+                self._engine = VectorEngine(self)
         return self._engine
 
     def run(self, max_time_s: Optional[float] = None) -> SimResult:
@@ -451,7 +459,7 @@ class Machine:
                     cap,
                     self.time,
                 )
-            self._step_epoch()
+            self._step_epoch(limit)
             if self.config.stop_on_finite_completion and self._all_finite_done():
                 return SimResult(sim_time_s=self.time, completed=True, machine=self)
         return SimResult(
@@ -477,7 +485,7 @@ class Machine:
     # ------------------------------------------------------------------
     # One epoch
     # ------------------------------------------------------------------
-    def _step_epoch(self) -> None:
+    def _step_epoch(self, limit: Optional[float] = None) -> None:
         now = self.time
         epoch = self.config.epoch_s
         engine = self._ensure_engine()
@@ -565,16 +573,36 @@ class Machine:
                 if nxt is not None:
                     self._switch_in(pcpu, nxt, now)
 
-        # 4. Contention solve and progress.
-        t0 = self.profiler.start()
-        if engine is not None:
-            engine.advance_running(now, epoch)
+        # 4. Contention solve and progress.  The batched engine first
+        # sizes an event horizon — how many upcoming epochs are free of
+        # ticks, samples, wakes, phase changes, completions, faults and
+        # the run limit — and macro-steps all of them in one 2D batch;
+        # a horizon of 1 falls back to the inherited single-epoch path.
+        stepped = 1
+        if engine is not None and engine.supports_batch:
+            t0 = self.profiler.start()
+            batch = engine.compute_horizon(
+                now, limit if limit is not None else self.config.max_time_s
+            )
+            self.profiler.stop("horizon", t0)
         else:
-            self._advance_running(now, epoch)
+            batch = 1
+        t0 = self.profiler.start()
+        if batch > 1:
+            end = engine.advance_batch(now, epoch, batch)
+            stepped = batch
+        else:
+            end = now + epoch
+            if engine is not None:
+                engine.advance_running(now, epoch)
+            else:
+                self._advance_running(now, epoch)
         self.profiler.stop("epoch", t0)
 
         # 5. Phase changes (heap-driven, or a cheap check per workload).
-        end = now + epoch
+        # For a macro-step the horizon guarantees nothing was due at any
+        # interior epoch end, so one check at the batch end is the same
+        # sequence of applications the singleton path performs.
         if engine is not None:
             engine.apply_phase_changes(end)
         else:
@@ -585,14 +613,15 @@ class Machine:
                         end, "phase_change", vcpu=vcpu.name, slice=w.slice_id
                     )
 
-        # 6. Sampling-period boundary.
-        if (self.epoch_index + 1) % self._epochs_per_sample == 0:
+        # 6. Sampling-period boundary (a macro-step's horizon is capped
+        # at the next boundary, so it can land on one only batch-final).
+        if (self.epoch_index + stepped) % self._epochs_per_sample == 0:
             t0 = self.profiler.start()
             self.policy.on_sample_period(end)
             self.profiler.stop("sample_period", t0)
 
         self.time = end
-        self.epoch_index += 1
+        self.epoch_index += stepped
 
     def _account_steal(self, thief: Pcpu, vcpu: Vcpu, now: float) -> None:
         source = vcpu.pcpu

@@ -34,9 +34,23 @@ class TestParser:
         args = build_parser().parse_args(["trace", "soplex"])
         assert args.command == "trace"
         assert args.scheduler == "vprobe"
-        assert args.engine == "vector"
+        assert args.engine == "batched"
         assert str(args.out) == "run.jsonl"
         assert args.interval == pytest.approx(0.25)
+
+    def test_compare_engine_flag(self):
+        args = build_parser().parse_args(["compare", "soplex"])
+        assert args.engine == "batched"
+        args = build_parser().parse_args(
+            ["compare", "soplex", "--engine", "reference"]
+        )
+        assert args.engine == "reference"
+
+    def test_bench_parses(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.suite == ["engine", "grid", "profiler"]
+        args = build_parser().parse_args(["bench", "--suite", "engine"])
+        assert args.suite == ["engine"]
 
     def test_trace_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):

@@ -55,6 +55,29 @@ class TestParallelRunner:
         with pytest.raises(ValueError):
             ParallelRunner(2).compare_mean(BUILDER, CFG, seeds=())
 
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(1, engine="turbo")
+
+    def test_parallel_identical_across_engines(self):
+        """Engine selection changes wall time only, even under a pool.
+
+        The same cells fan out once per engine; ``RunSummary.__eq__``
+        covers every simulated quantity (``phase_profile`` is
+        ``compare=False`` — host wall-clock differs by engine), so this
+        pins the runner's engine threading AND the engines' bitwise
+        contract end-to-end through worker processes.
+        """
+        schedulers = ("credit", "vprobe")
+        results = {
+            engine: ParallelRunner(2, engine=engine).compare(
+                BUILDER, CFG, schedulers
+            )
+            for engine in ("reference", "vector", "batched")
+        }
+        assert results["vector"] == results["reference"]
+        assert results["batched"] == results["reference"]
+
     def test_run_grid_parallel_matches_serial(self):
         from repro.experiments import fig5
 
