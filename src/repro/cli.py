@@ -50,6 +50,21 @@ Commands
         python -m repro cache prune
         python -m repro cache clear
 
+``checkpoint``
+    Inspect simulation checkpoint files (``.ckpt``) written by an
+    interrupted run; validates schema, version and payload digest the
+    same way ``validate`` checks traces and reports::
+
+        python -m repro checkpoint inspect results/checkpoints/*.ckpt
+
+Recovery
+--------
+``report`` journals per-cell outcomes to ``<outdir>/journal.jsonl``
+and exits with code 75 on SIGINT/SIGTERM after flushing it (and
+checkpointing any in-flight serial cell); rerunning with ``--resume``
+recomputes nothing that already finished.  ``--deadline S`` quarantines
+pathological cells instead of failing the report.
+
 Caching
 -------
 ``compare`` and ``report`` accept ``--cache-dir DIR`` (or the
@@ -197,6 +212,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cells per worker submission (default: auto)",
     )
+    rep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay <outdir>/journal.jsonl from an interrupted run; "
+            "recompute nothing that already finished"
+        ),
+    )
+    rep_p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-cell wall-clock deadline in seconds; overruns retry "
+            "with backoff, then quarantine instead of failing the report"
+        ),
+    )
+    rep_p.add_argument(
+        "--deadline-strikes",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts before an overrunning cell is quarantined (default 3)",
+    )
+    rep_p.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="run only jobs whose name starts with PREFIX (repeatable)",
+    )
     _add_cache_flags(rep_p)
 
     bench_p = sub.add_parser(
@@ -228,6 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR)",
     )
+
+    ckpt_p = sub.add_parser(
+        "checkpoint", help="inspect simulation checkpoint files"
+    )
+    ckpt_p.add_argument(
+        "action",
+        choices=["inspect"],
+        help="inspect: validate header, version and payload digest",
+    )
+    ckpt_p.add_argument("files", nargs="+", type=pathlib.Path)
 
     return parser
 
@@ -425,16 +482,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.cache.store import resolve_cache
     from repro.experiments.parallel import default_jobs
     from repro.experiments.report_all import regenerate_all
+    from repro.recovery import (
+        EXIT_RESUMABLE,
+        DeadlinePolicy,
+        GracefulShutdown,
+        ShutdownRequested,
+    )
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     cache = resolve_cache(args.cache_dir, args.no_cache)
-    regenerate_all(
-        pathlib.Path(args.outdir),
-        fast=args.fast,
-        jobs=max(1, jobs),
-        cache=cache,
-        chunksize=args.chunksize,
+    deadline = (
+        DeadlinePolicy(deadline_s=args.deadline, max_strikes=args.deadline_strikes)
+        if args.deadline is not None
+        else None
     )
+    shutdown = GracefulShutdown()
+    try:
+        with shutdown:
+            regenerate_all(
+                pathlib.Path(args.outdir),
+                fast=args.fast,
+                only=tuple(args.only) if args.only else None,
+                jobs=max(1, jobs),
+                cache=cache,
+                chunksize=args.chunksize,
+                resume=args.resume,
+                deadline=deadline,
+                shutdown=shutdown,
+            )
+    except ShutdownRequested as exc:
+        print(
+            f"\ninterrupted ({exc}); journal flushed — "
+            f"relaunch with --resume to continue (exit {EXIT_RESUMABLE})"
+        )
+        return EXIT_RESUMABLE
     return 0
 
 
@@ -482,6 +563,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Validate checkpoint files; mirrors ``repro validate`` in spirit."""
+    from repro.recovery.checkpoint import CheckpointError, inspect_checkpoint
+
+    failures = 0
+    for path in args.files:
+        try:
+            header = inspect_checkpoint(path, verify_payload=True)
+        except (CheckpointError, OSError) as exc:
+            failures += 1
+            print(f"{path}: INVALID")
+            print(f"  {exc}")
+            continue
+        print(
+            f"{path}: ok — {header['policy']}/{header['engine']} "
+            f"seed={header['seed']} epoch={header['epoch_index']} "
+            f"t={header['sim_time_s']:.3f}s "
+            f"({header['domains']} domains, {header['vcpus']} vcpus, "
+            f"{header['payload_bytes']} payload bytes)"
+        )
+        print(f"  config_hash: {header['config_hash']}")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -499,6 +604,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -198,8 +198,15 @@ def run_grid(
     computed cells from disk; an explicit ``runner`` (which wins over
     ``jobs``/``cache``) lets ``report_all`` share one runner — and its
     hit/miss/retry accounting — across every figure.
+
+    A comparison figure normalises every cell against the Credit
+    baseline, so it cannot render with holes: if the runner quarantined
+    any cell (deadline blown, epoch cap hit), this raises
+    :class:`~repro.experiments.parallel.GridIncompleteError` naming
+    them, and ``report_all`` quarantines the whole job rather than the
+    whole report.
     """
-    from repro.experiments.parallel import ParallelRunner
+    from repro.experiments.parallel import GridIncompleteError, ParallelRunner
 
     config = cfg or ScenarioConfig()
     names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
@@ -208,6 +215,8 @@ def run_grid(
         runner = ParallelRunner(jobs, cache=cache)
     flat = [(p.builder, sched, config) for p in points for sched in names]
     summaries = runner.run_cells(flat)
+    if any(s is None for s in summaries):
+        raise GridIncompleteError(runner.quarantined, total=len(flat))
     rows = iter(summaries)
     for point in points:
         for sched in names:

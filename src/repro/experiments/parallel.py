@@ -27,12 +27,34 @@ picklable cell).  Per-call hit/miss counts land in
 and accumulate in the ``total_*`` counterparts for end-of-report
 summary lines.
 
+**Journal awareness.**  Given a
+:class:`~repro.recovery.journal.GridJournal`, every completed cell is
+appended to the write-ahead journal the moment its result lands, and
+journaled cells resolve in the parent exactly like cache hits — this
+is what lets a SIGTERM'd ``repro report`` relaunch with ``--resume``
+and recompute nothing that already finished.  Cells the journal marks
+*quarantined* are not retried either: their slots stay ``None``.
+
+**Deadlines and quarantine.**  With a
+:class:`~repro.recovery.deadline.DeadlinePolicy`, each attempt runs
+under a wall-clock alarm in the process executing it; an overrun
+cancels the cell, the parent retries with exponential backoff, and
+after ``max_strikes`` attempts the cell is *quarantined* — recorded in
+:attr:`ParallelRunner.quarantined` (and the journal) with its slot
+left ``None`` instead of failing the grid.
+:class:`~repro.xen.simulator.SimulationTimeout` (the simulated epoch
+cap) rides the same path but quarantines immediately: it is a
+deterministic outcome, so a retry — serial or otherwise — would only
+reproduce it at full cost.
+
 **Chunked dispatch.**  Misses are submitted in chunks
 (``chunksize``; an adaptive default of ~4 chunks per worker) so a
 large seed sweep pays one task-submission/result round-trip per chunk
 instead of per cell — the executor's per-task IPC is the dominant cost
 once cells are short.  ``chunksize=1`` reproduces the historical
-one-future-per-cell dispatch exactly.
+one-future-per-cell dispatch exactly.  Workers report *per-cell
+outcomes* (ok / timeout / error), so one bad cell no longer poisons
+its chunk-mates.
 
 Worker crashes don't lose the grid: any chunk whose future fails —
 including the :class:`BrokenProcessPool` cascade when one worker dies
@@ -41,8 +63,9 @@ serially, in the parent process.  Because cells are deterministic
 functions of (builder, scheduler, config), a serial re-run produces
 the exact summary the worker would have; only cells that *also* fail
 serially surface, aggregated into one :class:`ParallelExecutionError`
-naming them.  Retried cells are recorded in
-:attr:`ParallelRunner.retried_cells` so a flaky pool never passes
+naming them (keyed by cell name *and grid index*, so two lambdas that
+render identically cannot silently merge).  Retried cells are recorded
+in :attr:`ParallelRunner.retried_cells` so a flaky pool never passes
 silently.
 """
 
@@ -51,13 +74,26 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import pathlib
+
     from repro.cache.store import ResultCache
+    from repro.recovery.journal import GridJournal
+    from repro.recovery.shutdown import GracefulShutdown
 
 from repro.experiments.runner import (
     MeanStats,
@@ -67,11 +103,29 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import SCHEDULER_NAMES, ScenarioConfig
 from repro.metrics.collectors import RunSummary
+from repro.recovery.deadline import (
+    CellDeadlineExceeded,
+    DeadlinePolicy,
+    Quarantine,
+    alarm_guard,
+    run_cell_batch_guarded,
+)
+from repro.xen.simulator import SimulationTimeout
 
-__all__ = ["ParallelRunner", "ParallelExecutionError", "default_jobs"]
+__all__ = [
+    "ParallelRunner",
+    "ParallelExecutionError",
+    "GridIncompleteError",
+    "default_jobs",
+]
 
 #: One grid cell: (builder, scheduler name, config).
 Cell = Tuple[ScenarioBuilder, str, ScenarioConfig]
+
+#: Failures spelled out in a ParallelExecutionError message before the
+#: rest collapse into "... and N more" (each repeats the cell name and
+#: exception text; hundreds of them would bury the signal).
+_MAX_FAILURE_DETAIL = 8
 
 
 def default_jobs() -> int:
@@ -92,7 +146,12 @@ def default_jobs() -> int:
 
 
 def cell_name(cell: Cell) -> str:
-    """A stable human-readable id: ``builder(args)/scheduler/seed=N``."""
+    """A stable human-readable id: ``builder(args)/scheduler/seed=N``.
+
+    Not guaranteed unique — distinct lambda/closure builders all render
+    as ``<lambda>`` — so anything that *keys* on cells must combine
+    this with the grid index (see :func:`indexed_cell_name`).
+    """
     builder, scheduler, cfg = cell
     fn = builder
     bound: List[str] = []
@@ -105,11 +164,19 @@ def cell_name(cell: Cell) -> str:
     return f"{label}/{scheduler}/seed={cfg.seed}"
 
 
+def indexed_cell_name(cell: Cell, index: int) -> str:
+    """Collision-proof cell id: the readable name plus the grid index."""
+    return f"{cell_name(cell)}#{index}"
+
+
 def run_cell_batch(cells: Sequence[Cell]) -> List[RunSummary]:
     """Worker-side entry: run a chunk of cells serially, in order.
 
     Module-level (picklable) and cache-blind by design; the parent owns
-    all cache traffic.
+    all cache traffic.  The runner itself now dispatches through the
+    outcome-reporting
+    :func:`~repro.recovery.deadline.run_cell_batch_guarded`; this plain
+    variant remains the raise-on-error building block.
     """
     return [execute_cell(b, s, c) for b, s, c in cells]
 
@@ -122,18 +189,44 @@ def _auto_chunksize(cells: int, workers: int) -> int:
 class ParallelExecutionError(RuntimeError):
     """Cells that failed both in a worker and on the serial retry.
 
-    ``failures`` maps each failing cell's :func:`cell_name` to the
-    exception its serial retry raised (the worker-side error is often
-    just the pool-collapse cascade; the serial one is the real cause).
+    ``failures`` maps each failing cell's :func:`indexed_cell_name` to
+    the exception its serial retry raised (the worker-side error is
+    often just the pool-collapse cascade; the serial one is the real
+    cause).  The rendered message lists at most
+    ``_MAX_FAILURE_DETAIL`` of them; the full mapping is always on the
+    exception object.
     """
 
     def __init__(self, failures: Dict[str, BaseException], total: int) -> None:
         self.failures = dict(failures)
+        shown = list(failures.items())[:_MAX_FAILURE_DETAIL]
         detail = "; ".join(
-            f"{name}: {type(exc).__name__}: {exc}" for name, exc in failures.items()
+            f"{name}: {type(exc).__name__}: {exc}" for name, exc in shown
         )
+        if len(failures) > len(shown):
+            detail += f"; ... and {len(failures) - len(shown)} more"
         super().__init__(
             f"{len(failures)} of {total} cells failed even after serial retry: {detail}"
+        )
+
+
+class GridIncompleteError(RuntimeError):
+    """A grid finished with quarantined (hence missing) cells.
+
+    Raised by consumers that need *every* cell to render their result
+    (:func:`repro.experiments.comparison.run_grid`); ``report_all``
+    catches it, records the whole job as quarantined in the journal and
+    carries on with the remaining jobs.
+    """
+
+    def __init__(self, quarantined: Sequence[Quarantine], total: int) -> None:
+        self.quarantined = list(quarantined)
+        shown = [q.cell for q in self.quarantined[:_MAX_FAILURE_DETAIL]]
+        detail = ", ".join(shown)
+        if len(self.quarantined) > len(shown):
+            detail += f", ... and {len(self.quarantined) - len(shown)} more"
+        super().__init__(
+            f"{len(self.quarantined)} of {total} cells quarantined: {detail}"
         )
 
 
@@ -162,6 +255,25 @@ class ParallelRunner:
         Because the engines are bitwise-identical, the selector can
         never change results, only wall time
         (``tests/test_parallel.py`` pins this).
+    journal:
+        Optional :class:`~repro.recovery.journal.GridJournal`.
+        Journaled cells resolve without recomputation (counted in
+        :attr:`journal_hits`), completed cells are appended as they
+        land, and quarantines persist across a resume.
+    deadline:
+        Optional :class:`~repro.recovery.deadline.DeadlinePolicy` (or
+        bare seconds).  Overrunning attempts are cancelled, retried
+        with exponential backoff and eventually quarantined.
+    shutdown:
+        Optional :class:`~repro.recovery.shutdown.GracefulShutdown`.
+        The runner checks it between cells/chunks so a SIGTERM exits
+        at a clean point, and serial cells run in its *deferred* mode
+        so they can checkpoint at an epoch boundary first.
+    checkpoint_dir:
+        Directory for in-flight serial-cell snapshots.  Only consulted
+        on the serial path (workers are sacrificial — their cells are
+        simply re-dispatched on resume); an interrupted serial cell is
+        checkpointed there and resumed by the next run.
     """
 
     def __init__(
@@ -170,6 +282,10 @@ class ParallelRunner:
         cache: Optional["ResultCache"] = None,
         chunksize: Optional[int] = None,
         engine: Optional[str] = None,
+        journal: Optional["GridJournal"] = None,
+        deadline: "DeadlinePolicy | float | None" = None,
+        shutdown: Optional["GracefulShutdown"] = None,
+        checkpoint_dir: "pathlib.Path | str | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -184,40 +300,82 @@ class ParallelRunner:
         self.cache = cache
         self.chunksize = chunksize
         self.engine = engine
+        self.journal = journal
+        self.deadline = DeadlinePolicy.coerce(deadline)
+        self.shutdown = shutdown
+        self.checkpoint_dir = checkpoint_dir
         #: cell names recovered by serial retry in the latest
         #: :meth:`run_cells` call (empty on a clean parallel run)
         self.retried_cells: List[str] = []
         #: cache hits/misses of the latest :meth:`run_cells` call
         self.cache_hits = 0
         self.cache_misses = 0
+        #: journaled cells served without recomputation (latest call)
+        self.journal_hits = 0
+        #: cells quarantined (or already quarantined in the journal)
+        #: during the latest :meth:`run_cells` call
+        self.quarantined: List[Quarantine] = []
         #: lifetime accumulators across every :meth:`run_cells` call
         self.total_retried_cells: List[str] = []
         self.total_cache_hits = 0
         self.total_cache_misses = 0
+        self.total_journal_hits = 0
+        self.total_quarantined: List[Quarantine] = []
 
     # ------------------------------------------------------------------
-    # Cache plumbing
+    # Cache + journal plumbing
     # ------------------------------------------------------------------
     def _lookup(
         self, cells: Sequence[Cell], results: List[Optional[RunSummary]]
     ) -> Tuple[List[Optional[str]], List[int]]:
-        """Resolve cache hits in-place; returns (keys, miss indices)."""
+        """Resolve journal/cache hits in-place; returns (keys, misses).
+
+        Resolution order per cell: journal ``done`` record, journal
+        quarantine (slot stays ``None`` — no recomputation), cache
+        entry, then miss.  Cache hits on a journaled run are also
+        written through to the journal so a later ``--resume`` does not
+        depend on the cache still being warm.
+        """
         keys: List[Optional[str]] = [None] * len(cells)
-        if self.cache is None:
+        if self.cache is None and self.journal is None:
             return keys, list(range(len(cells)))
         from repro.cache.keys import result_key
 
         misses: List[int] = []
-        for index, (builder, scheduler, cfg) in enumerate(cells):
+        for index, cell in enumerate(cells):
+            builder, scheduler, cfg = cell
             key = result_key(builder, scheduler, cfg)
             keys[index] = key
-            hit = self.cache.get(key) if key is not None else None
-            if hit is not None:
-                results[index] = hit
-                self.cache_hits += 1
-            else:
-                misses.append(index)
+            if key is not None and self.journal is not None:
+                hit = self.journal.get_cell(key)
+                if hit is not None:
+                    results[index] = hit
+                    self.journal_hits += 1
+                    continue
+                info = self.journal.get_quarantine(key)
+                if info is not None:
+                    self.quarantined.append(
+                        Quarantine(
+                            cell=str(info.get("cell", indexed_cell_name(cell, index))),
+                            key=key,
+                            reason=str(info.get("reason", "unknown")),
+                            strikes=int(info.get("strikes", 0)),
+                            detail=str(info.get("detail", "")),
+                        )
+                    )
+                    continue
+            if self.cache is not None:
+                hit = self.cache.get(key) if key is not None else None
+                if hit is not None:
+                    results[index] = hit
+                    self.cache_hits += 1
+                    if self.journal is not None and key is not None:
+                        self.journal.record_cell(
+                            key, indexed_cell_name(cell, index), hit
+                        )
+                    continue
                 self.cache_misses += 1
+            misses.append(index)
         return keys, misses
 
     def _store(self, key: Optional[str], cell: Cell, summary: RunSummary) -> None:
@@ -234,10 +392,45 @@ class ParallelRunner:
             },
         )
 
+    def _finish(
+        self,
+        index: int,
+        cell: Cell,
+        key: Optional[str],
+        summary: RunSummary,
+        results: List[Optional[RunSummary]],
+    ) -> None:
+        """Land one computed summary: result slot, cache, journal."""
+        results[index] = summary
+        self._store(key, cell, summary)
+        if self.journal is not None and key is not None:
+            self.journal.record_cell(key, indexed_cell_name(cell, index), summary)
+
+    def _quarantine(
+        self,
+        index: int,
+        cell: Cell,
+        key: Optional[str],
+        reason: str,
+        strikes: int,
+        detail: str,
+    ) -> None:
+        """Remove one cell from the grid instead of failing it."""
+        record = Quarantine(
+            cell=indexed_cell_name(cell, index),
+            key=key,
+            reason=reason,
+            strikes=strikes,
+            detail=detail,
+        )
+        self.quarantined.append(record)
+        if self.journal is not None and key is not None:
+            self.journal.record_quarantine(key, record.cell, record.to_dict())
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_cells(self, cells: Sequence[Cell]) -> List[RunSummary]:
+    def run_cells(self, cells: Sequence[Cell]) -> List[Optional[RunSummary]]:
         """Run cells (in order); parallel when jobs and cells allow.
 
         Builders must be picklable for ``jobs > 1`` — module-level
@@ -249,10 +442,20 @@ class ParallelRunner:
         — determinism makes the retry result identical to what the
         worker would have produced.  Cells failing the retry too raise
         one aggregated :class:`ParallelExecutionError`.
+
+        Timeout-class failures never take that path: a cell that blew
+        the simulated epoch cap (:class:`SimulationTimeout`) or
+        repeatedly blew its wall-clock deadline is *quarantined* — its
+        slot in the returned list is ``None`` and the details land in
+        :attr:`quarantined` (and the journal, when one is attached).
+        Grids without deadlines, caps or faults keep the historical
+        all-summaries guarantee.
         """
         self.retried_cells = []
         self.cache_hits = 0
         self.cache_misses = 0
+        self.journal_hits = 0
+        self.quarantined = []
         if self.engine is not None:
             cells = [
                 (builder, scheduler, dataclasses.replace(cfg, engine=self.engine))
@@ -264,17 +467,91 @@ class ParallelRunner:
             if misses:
                 if self.jobs <= 1 or len(misses) <= 1:
                     for index in misses:
-                        builder, scheduler, cfg = cells[index]
-                        summary = execute_cell(builder, scheduler, cfg)
-                        results[index] = summary
-                        self._store(keys[index], cells[index], summary)
+                        self._check_shutdown()
+                        summary = self._attempt_cell(index, cells[index], keys[index])
+                        if summary is not None:
+                            self._finish(
+                                index, cells[index], keys[index], summary, results
+                            )
                 else:
                     self._run_parallel(cells, keys, misses, results)
         finally:
             self.total_cache_hits += self.cache_hits
             self.total_cache_misses += self.cache_misses
+            self.total_journal_hits += self.journal_hits
             self.total_retried_cells.extend(self.retried_cells)
-        return results  # type: ignore[return-value]  # all slots filled
+            self.total_quarantined.extend(self.quarantined)
+        return results
+
+    def _check_shutdown(self) -> None:
+        if self.shutdown is not None:
+            self.shutdown.check()
+
+    def _execute_attempt(self, cell: Cell, key: Optional[str]) -> RunSummary:
+        """One in-parent attempt at a cell, deadline- and shutdown-aware."""
+        builder, scheduler, cfg = cell
+        deadline_s = self.deadline.deadline_s if self.deadline is not None else None
+        if self.checkpoint_dir is not None:
+            from repro.recovery.checkpoint import execute_cell_resumable
+            from repro.recovery.shutdown import ShutdownRequested
+
+            if self.shutdown is not None:
+                # Deferred: a signal sets the flag, the run loop stops
+                # at the next epoch boundary, and the cell checkpoints
+                # itself before we surface the shutdown.
+                with self.shutdown.deferred():
+                    with alarm_guard(deadline_s):
+                        summary = execute_cell_resumable(
+                            builder,
+                            scheduler,
+                            cfg,
+                            self.checkpoint_dir,
+                            key,
+                            stop_check=self.shutdown.is_requested,
+                        )
+                if summary is None:  # interrupted; snapshot is on disk
+                    raise ShutdownRequested(self.shutdown.signum or 15)
+                return summary
+            with alarm_guard(deadline_s):
+                summary = execute_cell_resumable(
+                    builder, scheduler, cfg, self.checkpoint_dir, key
+                )
+            assert summary is not None  # no stop_check: cannot interrupt
+            return summary
+        with alarm_guard(deadline_s):
+            return execute_cell(builder, scheduler, cfg)
+
+    def _attempt_cell(
+        self,
+        index: int,
+        cell: Cell,
+        key: Optional[str],
+        prior_strikes: int = 0,
+    ) -> Optional[RunSummary]:
+        """Run one cell in the parent with the full strike discipline.
+
+        Returns the summary, or ``None`` after quarantining the cell.
+        Non-timeout exceptions propagate (callers decide whether that
+        is fatal or feeds the crash-retry bookkeeping).
+        """
+        policy = self.deadline
+        max_strikes = policy.max_strikes if policy is not None else 1
+        strikes = prior_strikes
+        while True:
+            try:
+                return self._execute_attempt(cell, key)
+            except SimulationTimeout as exc:
+                self._quarantine(
+                    index, cell, key, "sim_timeout", strikes + 1, str(exc)
+                )
+                return None
+            except CellDeadlineExceeded as exc:
+                strikes += 1
+                if strikes >= max_strikes:
+                    self._quarantine(index, cell, key, "deadline", strikes, str(exc))
+                    return None
+                time.sleep(policy.backoff_s(strikes))
+                self._check_shutdown()
 
     def _run_parallel(
         self,
@@ -287,13 +564,18 @@ class ParallelRunner:
         workers = min(self.jobs, len(misses))
         size = self.chunksize or _auto_chunksize(len(misses), workers)
         chunks = [misses[i : i + size] for i in range(0, len(misses), size)]
+        deadline_s = self.deadline.deadline_s if self.deadline is not None else None
         failed: List[int] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        timeouts: Dict[int, Tuple[str, str]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             futures: Dict[int, object] = {}
             for chunk_id, chunk in enumerate(chunks):
                 try:
                     futures[chunk_id] = pool.submit(
-                        run_cell_batch, [cells[i] for i in chunk]
+                        run_cell_batch_guarded,
+                        [cells[i] for i in chunk],
+                        deadline_s,
                     )
                 except BrokenProcessPool:
                     # The pool died while we were still submitting;
@@ -302,26 +584,63 @@ class ParallelRunner:
             for chunk_id, future in futures.items():
                 chunk = chunks[chunk_id]
                 try:
-                    summaries = future.result()
+                    outcomes = future.result()
                 except Exception:
                     failed.extend(chunk)
                 else:
-                    for index, summary in zip(chunk, summaries):
-                        results[index] = summary
-                        self._store(keys[index], cells[index], summary)
+                    for index, (status, payload) in zip(chunk, outcomes):
+                        if status == "ok":
+                            self._finish(index, cells[index], keys[index], payload, results)
+                        elif status == "timeout":
+                            timeouts[index] = payload
+                        else:
+                            failed.append(index)
+            pool.shutdown(wait=True)
+        except BaseException:
+            # Prompt teardown (ShutdownRequested, KeyboardInterrupt):
+            # kill workers instead of waiting out their current cells.
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+        # Timeout-class outcomes: quarantine path, never full-cost
+        # serial retries.  A deterministic SimulationTimeout quarantines
+        # immediately; a wall-clock overrun gets its remaining strikes
+        # (with backoff) in the parent.
+        for index in sorted(timeouts):
+            type_name, detail = timeouts[index]
+            cell = cells[index]
+            if (
+                type_name == "CellDeadlineExceeded"
+                and self.deadline is not None
+                and self.deadline.max_strikes > 1
+            ):
+                self._check_shutdown()
+                time.sleep(self.deadline.backoff_s(1))
+                summary = self._attempt_cell(index, cell, keys[index], prior_strikes=1)
+                if summary is not None:
+                    self._finish(index, cell, keys[index], summary, results)
+            else:
+                reason = "sim_timeout" if type_name == "SimulationTimeout" else "deadline"
+                self._quarantine(index, cell, keys[index], reason, 1, detail)
+
         failed.sort()
         failures: Dict[str, BaseException] = {}
         for index in failed:
-            builder, scheduler, cfg = cells[index]
-            name = cell_name(cells[index])
+            self._check_shutdown()
+            name = indexed_cell_name(cells[index], index)
             self.retried_cells.append(name)
             try:
-                summary = execute_cell(builder, scheduler, cfg)
+                summary = self._attempt_cell(index, cells[index], keys[index])
             except Exception as exc:
                 failures[name] = exc
             else:
-                results[index] = summary
-                self._store(keys[index], cells[index], summary)
+                if summary is not None:
+                    self._finish(index, cells[index], keys[index], summary, results)
         if failures:
             raise ParallelExecutionError(failures, total=len(cells))
 
@@ -333,8 +652,12 @@ class ParallelRunner:
         builder: ScenarioBuilder,
         cfg: ScenarioConfig,
         schedulers: Optional[Iterable[str]] = None,
-    ) -> Dict[str, RunSummary]:
-        """Parallel :func:`repro.experiments.runner.compare`."""
+    ) -> Dict[str, Optional[RunSummary]]:
+        """Parallel :func:`repro.experiments.runner.compare`.
+
+        A quarantined cell maps its scheduler to ``None`` (only
+        possible when deadlines or epoch caps are in play).
+        """
         names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
         summaries = self.run_cells([(builder, name, cfg) for name in names])
         return dict(zip(names, summaries))
@@ -351,7 +674,8 @@ class ParallelRunner:
 
         The full (seed x scheduler) product fans out at once; each
         cell's config carries its seed, so the pairing is identical to
-        the serial nested loop.
+        the serial nested loop.  Quarantined cells (if any) drop out of
+        the per-scheduler averages.
         """
         if not seeds:
             raise ValueError("at least one seed required")

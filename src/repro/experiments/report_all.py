@@ -1,16 +1,30 @@
 """Regenerate every table and figure in one command.
 
 ``python -m repro.experiments.report_all [outdir] [--fast] [--jobs N]
-[--cache-dir DIR | --no-cache] [--chunksize N]`` runs the whole
-evaluation (Figs. 1, 3-8 and Table III plus the ablations) and writes
-each rendered table to ``outdir`` (default ``./results``).  ``--fast``
-uses very small scales for a minutes-long smoke pass; the default
-scales match the benchmark harness.  ``--jobs N`` fans each comparison
-grid's cells across N worker processes (results are identical — every
-cell reruns the same seeded scenario); the default is one worker per
-core.  With a cache directory (``--cache-dir`` or ``REPRO_CACHE_DIR``)
+[--cache-dir DIR | --no-cache] [--chunksize N] [--resume]
+[--deadline S] [--only PREFIX ...]`` runs the whole evaluation
+(Figs. 1, 3-8 and Table III plus the ablations) and writes each
+rendered table to ``outdir`` (default ``./results``).  ``--fast`` uses
+very small scales for a minutes-long smoke pass; the default scales
+match the benchmark harness.  ``--jobs N`` fans each comparison grid's
+cells across N worker processes (results are identical — every cell
+reruns the same seeded scenario); the default is one worker per core.
+With a cache directory (``--cache-dir`` or ``REPRO_CACHE_DIR``)
 previously computed cells are served from disk and a warm rerun does
 no simulation at all.
+
+**Crash safety.**  Every run keeps a write-ahead journal at
+``<outdir>/journal.jsonl``: each completed cell (and each finished
+job) is recorded atomically the moment it lands.  SIGINT/SIGTERM exit
+with code 75 (:data:`~repro.recovery.shutdown.EXIT_RESUMABLE`) after
+flushing the journal and checkpointing any in-flight serial cell to
+``<outdir>/checkpoints/``; relaunching with ``--resume`` replays
+journaled cells without recomputation and skips jobs whose outputs are
+already on disk, so the final report is byte-identical to an
+uninterrupted run.  ``--deadline S`` arms a per-cell wall-clock
+deadline: overrunning cells are retried with backoff and eventually
+*quarantined* (recorded in the journal and ``recovery.json``) instead
+of failing the report.
 
 This is the scripted equivalent of
 ``pytest benchmarks/ --benchmark-only`` without the timing machinery —
@@ -21,7 +35,7 @@ from __future__ import annotations
 
 import pathlib
 import time
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import (
     ScenarioConfig,
@@ -40,8 +54,13 @@ from repro.experiments import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.store import ResultCache
     from repro.experiments.parallel import ParallelRunner
+    from repro.recovery.deadline import DeadlinePolicy
+    from repro.recovery.shutdown import GracefulShutdown
 
 __all__ = ["regenerate_all", "main"]
+
+#: Schema of the <outdir>/recovery.json run summary.
+RECOVERY_SCHEMA = "repro.recovery-report/v1"
 
 
 def _jobs(
@@ -107,6 +126,40 @@ def _jobs(
     )
 
 
+def _write_recovery_report(
+    outdir: pathlib.Path,
+    runner: "ParallelRunner",
+    job_status: Dict[str, str],
+    resumed_jobs: List[str],
+    interrupted: bool,
+    extra_journal_hits: int = 0,
+) -> None:
+    """Publish <outdir>/recovery.json (best effort, never fatal)."""
+    from repro import __version__
+    from repro.obs.manifest import canonical_dumps
+
+    payload = {
+        "schema": RECOVERY_SCHEMA,
+        "version": __version__,
+        "interrupted": interrupted,
+        "jobs": job_status,
+        "resumed_jobs": sorted(resumed_jobs),
+        "quarantined_cells": [q.to_dict() for q in runner.total_quarantined],
+        "counters": {
+            "cache_hits": runner.total_cache_hits,
+            "cache_misses": runner.total_cache_misses,
+            "journal_hits": runner.total_journal_hits + extra_journal_hits,
+            "retried_cells": len(runner.total_retried_cells),
+        },
+    }
+    try:
+        (outdir / "recovery.json").write_text(
+            canonical_dumps(payload) + "\n", encoding="utf-8"
+        )
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
 def regenerate_all(
     outdir: pathlib.Path,
     fast: bool = False,
@@ -114,6 +167,9 @@ def regenerate_all(
     jobs: int = 1,
     cache: "Optional[ResultCache]" = None,
     chunksize: Optional[int] = None,
+    resume: bool = False,
+    deadline: "DeadlinePolicy | float | None" = None,
+    shutdown: "Optional[GracefulShutdown]" = None,
 ) -> Dict[str, int]:
     """Run every experiment; write one .txt and one .json per result.
 
@@ -128,38 +184,128 @@ def regenerate_all(
     payload round-trips exactly, so the ``.json`` outputs of a warm run
     are byte-identical to a cold one.
 
-    Returns the run's accounting: ``cache_hits``, ``cache_misses`` and
-    ``retried_cells``.
+    Recovery behaviour: the run journals every completed cell and job
+    to ``<outdir>/journal.jsonl``; ``resume=True`` replays that journal
+    (journaled cells resolve without simulation; jobs that already
+    finished — journaled *and* with their output files on disk — are
+    skipped outright, and previously quarantined jobs stay
+    quarantined).  A ``deadline`` policy quarantines pathological cells
+    rather than failing the run: the affected *job* is recorded as
+    quarantined (its outputs are withheld — a comparison figure cannot
+    render with holes) and every other job still completes.  When a
+    :class:`~repro.recovery.shutdown.GracefulShutdown` is supplied the
+    run stops at a clean point on SIGINT/SIGTERM, writes
+    ``recovery.json`` and lets
+    :class:`~repro.recovery.shutdown.ShutdownRequested` propagate so
+    the CLI can exit with code 75.
+
+    Returns the run's accounting: ``cache_hits``, ``cache_misses``,
+    ``retried_cells``, ``journal_hits``, ``quarantined_cells``,
+    ``resumed_jobs`` and ``quarantined_jobs``.
     """
     from repro.experiments.jsonreport import dump_report
-    from repro.experiments.parallel import ParallelRunner
+    from repro.experiments.parallel import GridIncompleteError, ParallelRunner
+    from repro.recovery.journal import GridJournal, JournalCache
 
     outdir.mkdir(parents=True, exist_ok=True)
-    runner = ParallelRunner(jobs, cache=cache, chunksize=chunksize)
+    journal = GridJournal(outdir / "journal.jsonl", resume=resume)
+    # The serial jobs reach their cells through run_one(cache=...);
+    # wrapping the cache in the journal makes them resume-covered too.
+    job_cache = JournalCache(journal, cache)
+    runner = ParallelRunner(
+        jobs,
+        cache=cache,
+        chunksize=chunksize,
+        journal=journal,
+        deadline=deadline,
+        shutdown=shutdown,
+        checkpoint_dir=outdir / "checkpoints",
+    )
+    if resume and (journal.loaded_cells or journal.loaded_jobs):
+        print(
+            f"resuming: journal has {journal.loaded_cells} cells, "
+            f"{journal.loaded_jobs} jobs "
+            f"({journal.loaded_quarantines} quarantined cells)"
+        )
     hits0 = cache.hits if cache is not None else 0
     misses0 = cache.misses if cache is not None else 0
-    for name, job in _jobs(fast, jobs, runner=runner, cache=cache):
-        if only is not None and not any(name.startswith(p) for p in only):
-            continue
-        start = time.perf_counter()
-        result = job()
-        elapsed = time.perf_counter() - start
-        text = result.format()
-        (outdir / f"{name}.txt").write_text(text + "\n")
-        (outdir / f"{name}.json").write_text(dump_report(result.to_json()) + "\n")
-        print(f"[{elapsed:7.1f}s] {name}")
-        print(text)
-        print()
+    job_status: Dict[str, str] = {}
+    resumed_jobs: List[str] = []
+    interrupted = False
+    try:
+        for name, job in _jobs(fast, jobs, runner=runner, cache=job_cache):
+            if only is not None and not any(name.startswith(p) for p in only):
+                continue
+            if resume:
+                status = journal.job_status(name)
+                if (
+                    status == "done"
+                    and (outdir / f"{name}.txt").exists()
+                    and (outdir / f"{name}.json").exists()
+                ):
+                    resumed_jobs.append(name)
+                    job_status[name] = "done"
+                    print(f"[  resumed] {name}")
+                    continue
+                if status == "quarantined":
+                    job_status[name] = "quarantined"
+                    print(f"[quarantine] {name} (from journal; not retried)")
+                    continue
+            start = time.perf_counter()
+            try:
+                result = job()
+            except GridIncompleteError as exc:
+                journal.record_job(name, status="quarantined")
+                job_status[name] = "quarantined"
+                print(f"[quarantine] {name}: {exc}")
+                continue
+            elapsed = time.perf_counter() - start
+            text = result.format()
+            (outdir / f"{name}.txt").write_text(text + "\n")
+            (outdir / f"{name}.json").write_text(dump_report(result.to_json()) + "\n")
+            journal.record_job(name, status="done")
+            job_status[name] = "done"
+            print(f"[{elapsed:7.1f}s] {name}")
+            print(text)
+            print()
+    except BaseException:
+        interrupted = True
+        raise
+    finally:
+        _write_recovery_report(
+            outdir,
+            runner,
+            job_status,
+            resumed_jobs,
+            interrupted,
+            extra_journal_hits=job_cache.journal_hits,
+        )
     stats = {
         "cache_hits": (cache.hits - hits0) if cache is not None else 0,
         "cache_misses": (cache.misses - misses0) if cache is not None else 0,
         "retried_cells": len(runner.total_retried_cells),
+        "journal_hits": runner.total_journal_hits + job_cache.journal_hits,
+        "quarantined_cells": len(runner.total_quarantined),
+        "resumed_jobs": len(resumed_jobs),
+        "quarantined_jobs": sum(
+            1 for s in job_status.values() if s == "quarantined"
+        ),
     }
     if cache is not None or stats["retried_cells"]:
         print(
             f"cache: {stats['cache_hits']} hits, "
             f"{stats['cache_misses']} misses; "
             f"retried cells: {stats['retried_cells']}"
+        )
+    if stats["journal_hits"] or stats["resumed_jobs"]:
+        print(
+            f"journal: {stats['journal_hits']} cells replayed, "
+            f"{stats['resumed_jobs']} jobs skipped"
+        )
+    if stats["quarantined_cells"]:
+        print(
+            f"quarantined: {stats['quarantined_cells']} cells "
+            f"({stats['quarantined_jobs']} jobs withheld) — see recovery.json"
         )
     return stats
 
@@ -170,6 +316,12 @@ def main(argv: "list[str] | None" = None) -> int:
 
     from repro.cache.store import resolve_cache
     from repro.experiments.parallel import default_jobs
+    from repro.recovery.deadline import DeadlinePolicy
+    from repro.recovery.shutdown import (
+        EXIT_RESUMABLE,
+        GracefulShutdown,
+        ShutdownRequested,
+    )
 
     parser = argparse.ArgumentParser(
         description="Regenerate every table and figure."
@@ -201,16 +353,61 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="ignore any cache directory, even $REPRO_CACHE_DIR",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay <outdir>/journal.jsonl; recompute nothing that finished",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-cell wall-clock deadline in seconds "
+        "(overruns retry with backoff, then quarantine)",
+    )
+    parser.add_argument(
+        "--deadline-strikes",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts before an overrunning cell is quarantined (default 3)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="run only jobs whose name starts with PREFIX (repeatable)",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     cache = resolve_cache(args.cache_dir, args.no_cache)
-    regenerate_all(
-        args.outdir,
-        fast=args.fast,
-        jobs=max(1, jobs),
-        cache=cache,
-        chunksize=args.chunksize,
+    deadline = (
+        DeadlinePolicy(deadline_s=args.deadline, max_strikes=args.deadline_strikes)
+        if args.deadline is not None
+        else None
     )
+    shutdown = GracefulShutdown()
+    try:
+        with shutdown:
+            regenerate_all(
+                args.outdir,
+                fast=args.fast,
+                only=tuple(args.only) if args.only else None,
+                jobs=max(1, jobs),
+                cache=cache,
+                chunksize=args.chunksize,
+                resume=args.resume,
+                deadline=deadline,
+                shutdown=shutdown,
+            )
+    except ShutdownRequested as exc:
+        print(
+            f"\ninterrupted ({exc}); journal flushed — "
+            f"relaunch with --resume to continue (exit {EXIT_RESUMABLE})"
+        )
+        return EXIT_RESUMABLE
     print(f"all tables written to {args.outdir}/")
     return 0
 

@@ -154,13 +154,18 @@ def compare_mean(
 def aggregate_mean_stats(
     names: Sequence[str],
     seeds: Sequence[int],
-    summaries: Sequence[RunSummary],
+    summaries: Sequence[Optional[RunSummary]],
     domain: str = "vm1",
 ) -> Dict[str, MeanStats]:
     """Fold flat run summaries into per-scheduler :class:`MeanStats`.
 
     ``summaries`` must be in seed-major, scheduler-minor order — the
     order both the serial nested loop and the parallel fan-out produce.
+    ``None`` entries (cells the parallel runner quarantined) drop out
+    of that scheduler's averages; :attr:`MeanStats.seeds` reports the
+    seeds that actually contributed.  A scheduler with *no* surviving
+    cells gets NaN means so downstream tables render visibly rather
+    than crash.
     """
     if len(summaries) != len(seeds) * len(names):
         raise ValueError(
@@ -171,18 +176,27 @@ def aggregate_mean_stats(
     it = iter(summaries)
     for _seed in seeds:
         for name in names:
-            stats = next(it).domain(domain)
+            summary = next(it)
+            if summary is None:
+                continue
+            stats = summary.domain(domain)
             runtimes[name].append(stats.mean_finish_time_s or float("nan"))
             remotes[name].append(stats.remote_ratio)
     return {
         name: MeanStats(
             scheduler=name,
-            seeds=len(seeds),
-            mean_runtime_s=statistics.fmean(runtimes[name]),
-            stdev_runtime_s=(
-                statistics.stdev(runtimes[name]) if len(seeds) > 1 else 0.0
+            seeds=len(runtimes[name]),
+            mean_runtime_s=(
+                statistics.fmean(runtimes[name]) if runtimes[name] else float("nan")
             ),
-            mean_remote_ratio=statistics.fmean(remotes[name]),
+            stdev_runtime_s=(
+                statistics.stdev(runtimes[name])
+                if len(runtimes[name]) > 1
+                else 0.0
+            ),
+            mean_remote_ratio=(
+                statistics.fmean(remotes[name]) if remotes[name] else float("nan")
+            ),
         )
         for name in names
     }

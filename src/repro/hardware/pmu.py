@@ -123,6 +123,18 @@ class PMU:
         self._row_of: Dict[int, int] = {}
         self._node_matrix = np.zeros((0, num_nodes))
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Re-establish the row-view invariant.  Pickle serializes each
+        # bank's ``node_accesses`` view as an independent array, so a
+        # restored PMU would have banks detached from ``_node_matrix``:
+        # batched ``charge_epoch`` scatter-adds would land in the matrix
+        # while every reader (window deltas, affinity) kept seeing the
+        # bank's frozen copy.  Rebinding on restore is exactly what
+        # :meth:`register` does after a matrix reallocation.
+        for key, bank in self._counters.items():
+            bank.node_accesses = self._node_matrix[self._row_of[key]]
+
     def register(self, vcpu_key: int) -> None:
         """Create counter banks for a VCPU (idempotent)."""
         if vcpu_key in self._counters:

@@ -17,7 +17,7 @@ paper's testbed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -159,6 +159,10 @@ class SimResult:
     sim_time_s: float  #: virtual time when the run stopped
     completed: bool  #: True if all finite workloads finished in time
     machine: "Machine"  #: the machine, for post-hoc inspection
+    #: True when the run stopped early because a ``stop_check`` fired;
+    #: the machine sits at a clean epoch boundary and can be resumed
+    #: (or checkpointed via :mod:`repro.recovery.checkpoint`)
+    interrupted: bool = False
 
     def finish_time(self, domain_name: str) -> Optional[float]:
         """Mean finish time of a domain's finite VCPUs."""
@@ -448,11 +452,32 @@ class Machine:
                 self._engine = VectorEngine(self)
         return self._engine
 
-    def run(self, max_time_s: Optional[float] = None) -> SimResult:
-        """Advance the simulation until completion or the time limit."""
+    def run(
+        self,
+        max_time_s: Optional[float] = None,
+        stop_check: "Optional[Callable[[], bool]]" = None,
+    ) -> SimResult:
+        """Advance the simulation until completion or the time limit.
+
+        ``stop_check`` (when given) is consulted between epochs — the
+        only points where simulation state is self-contained.  When it
+        returns True the run stops *without* advancing further and the
+        result is marked ``interrupted``; the machine can then be
+        checkpointed (:mod:`repro.recovery.checkpoint`) or resumed by
+        calling :meth:`run` again, and because every epoch boundary is
+        a complete state, the continuation is bitwise the uninterrupted
+        run.
+        """
         limit = max_time_s if max_time_s is not None else self.config.max_time_s
         cap = self.config.max_epochs
         while self.time < limit - 1e-12:
+            if stop_check is not None and stop_check():
+                return SimResult(
+                    sim_time_s=self.time,
+                    completed=self._all_finite_done(),
+                    machine=self,
+                    interrupted=True,
+                )
             if cap is not None and self.epoch_index >= cap:
                 raise SimulationTimeout(
                     self.config.label or f"<{self.policy.name} machine>",
@@ -755,6 +780,28 @@ class Machine:
         per_ref_ns = (1.0 - miss_rate) * lat.llc_hit_ns + miss_rate * penalty_ns
         stall = rpi * per_ref_ns * ns_to_cycles / prof.mlp
         return prof.cpi_base + stall
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.recovery.checkpoint)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle everything except the epoch engine.
+
+        The engine is a derived accelerator: it is rebuilt lazily from
+        live machine state (exactly how :meth:`add_domain` already
+        invalidates it), its wake/phase heaps and finite-work countdown
+        are pure functions of VCPU/workload state, and its gather
+        memos are caches.  Dropping it keeps snapshots compact and —
+        more importantly — lets a snapshot taken under one engine
+        resume under any of the three with bitwise-identical results
+        (the resume-parity matrix in ``tests/test_recovery.py``).
+        """
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Introspection helpers

@@ -149,7 +149,10 @@ class TestCommands:
 
         from repro.obs.schema import validate_report
 
-        jsons = sorted((tmp_path / "r").glob("*.json"))
+        # ``recovery.json`` is the runner's resume ledger, not a report.
+        jsons = sorted(
+            p for p in (tmp_path / "r").glob("*.json") if p.stem != "recovery"
+        )
         assert {p.stem for p in jsons} == {p.stem for p in (tmp_path / "r").glob("*.txt")}
         for p in jsons:
             assert validate_report(json.loads(p.read_text())) == []

@@ -127,7 +127,9 @@ class TestCrashRecovery:
         with pytest.raises(ParallelExecutionError) as err:
             ParallelRunner(2).run_cells(cells)
         assert len(err.value.failures) == 2
-        assert "_failing_builder/credit/seed=0" in err.value.failures
+        # Keys carry the grid index so identical-looking cells stay distinct.
+        assert "_failing_builder/credit/seed=0#0" in err.value.failures
+        assert "_failing_builder/vprobe/seed=0#1" in err.value.failures
         assert "scenario cannot be built" in str(err.value)
 
     def test_clean_parallel_run_reports_no_retries(self):

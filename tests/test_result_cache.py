@@ -369,3 +369,83 @@ class TestEntryFormat:
         run_one(BUILDER, "vprobe", CFG, cache=cache)
         key = result_key(BUILDER, "vprobe", CFG)
         assert cache.path_for(key).parent.name == key[:2]
+
+
+class TestMaintenanceRaces:
+    """prune/clear racing concurrent writers must never raise.
+
+    A shared cache directory sees other processes writing (mkstemp temp
+    files appearing), finishing (entries materialising) and pruning
+    (entries vanishing) at any time.  The maintenance commands may
+    under- or over-count in a race window, but they may not crash, and
+    a surviving half-written entry must read as a miss, never poison a
+    result.
+    """
+
+    def fill(self, cache):
+        run_one(BUILDER, "credit", CFG, cache=cache)
+        run_one(BUILDER, "vprobe", CFG, cache=cache)
+
+    def test_prune_tolerates_entries_vanishing_mid_walk(self, cache, monkeypatch):
+        self.fill(cache)
+        ghost = cache.root / "aa" / ("a" * 64 + ".json")
+        real = list(cache._entry_files())
+        monkeypatch.setattr(
+            ResultCache, "_entry_files", lambda self: iter([ghost] + real)
+        )
+        # The ghost reads as corrupt, its unlink fails, and neither is
+        # fatal: prune reports only what it actually deleted.
+        assert cache.prune() == (0, 0)
+        assert cache.scan().entries == 2
+
+    def test_clear_tolerates_entries_vanishing_mid_walk(self, cache, monkeypatch):
+        self.fill(cache)
+        ghost = cache.root / "aa" / ("a" * 64 + ".json")
+        real = list(cache._entry_files())
+        monkeypatch.setattr(
+            ResultCache, "_entry_files", lambda self: iter([ghost] + real)
+        )
+        assert cache.clear() == 2  # the ghost is skipped, not counted
+        assert cache.scan().entries == 0
+
+    def test_scan_tolerates_entries_vanishing_mid_walk(self, cache, monkeypatch):
+        self.fill(cache)
+        ghost = cache.root / "aa" / ("a" * 64 + ".json")
+        real = list(cache._entry_files())
+        monkeypatch.setattr(
+            ResultCache, "_entry_files", lambda self: iter([ghost] + real)
+        )
+        stats = cache.scan()
+        assert (stats.entries, stats.stale, stats.corrupt) == (2, 0, 0)
+
+    def test_prune_with_concurrent_half_written_entry(self, cache):
+        # A writer mid-put: its mkstemp temp file sits in the shard
+        # directory.  prune classifies it corrupt and removes it; the
+        # writer's os.replace then fails and its put reports False —
+        # the documented worst case is redoing work, never crashing.
+        self.fill(cache)
+        key = result_key(BUILDER, "credit", CFG)
+        shard = cache.path_for(key).parent
+        (shard / ".tmp-inflight.json").write_text('{"schema": "repro.resu')
+        assert cache.prune() == (0, 1)
+        assert cache.scan().entries == 2
+
+    def test_corrupt_entry_stays_a_miss_after_failed_prune(
+        self, cache, monkeypatch
+    ):
+        self.fill(cache)
+        key = result_key(BUILDER, "credit", CFG)
+        path = cache.path_for(key)
+        path.write_text("{definitely not json")
+        # Another process holds the file somehow: unlink fails.
+        monkeypatch.setattr(
+            pathlib.Path, "unlink", lambda self, **kw: (_ for _ in ()).throw(OSError())
+        )
+        assert cache.prune() == (0, 0)  # did not raise, deleted nothing
+        monkeypatch.undo()
+        assert cache.get(key) is None  # still a miss, not an error
+        misses = cache.misses
+        assert misses >= 1
+        # And the next run overwrites it back to health.
+        run_one(BUILDER, "credit", CFG, cache=cache)
+        assert cache.get(key) is not None
