@@ -39,7 +39,7 @@ def main() -> None:
             (
                 f"{trace.times()[i]:.1f}-{trace.times()[i + 1]:.1f}",
                 "idle" if ratios[i] is None else ratios[i] * 100.0,
-                rates[i],
+                "n/a" if rates[i] is None else rates[i],
                 imbalance[i] if i < len(imbalance) else 0,
             )
             for i in range(len(ratios))

@@ -1,0 +1,162 @@
+"""Greedy scenario shrinking: turn a fuzz failure into a minimal repro.
+
+A raw failing :class:`~repro.audit.fuzz.FuzzScenario` may carry three
+domains, a four-node topology and a fault plan when the bug needs one
+domain and two nodes.  The shrinker applies a fixed list of
+simplifying transformations (shorten the run, drop domains, halve
+VCPU counts, remove the fault, shrink the topology, simplify
+placements), keeps any transformed scenario that *still fails the same
+way*, and repeats until no transformation helps — a deterministic
+delta-debugging loop.
+
+The result can be emitted as a ready-to-commit pytest case
+(:func:`repro_source`) embedding the minimal scenario as a literal, so
+every bug the fuzzer finds ships with its regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional
+
+from repro.audit.fuzz import DifferentialResult, FuzzScenario, run_differential
+
+__all__ = ["shrink", "repro_source"]
+
+#: Upper bound on differential runs during one shrink (3 engine runs
+#: each); the loop is greedy so real shrinks finish far below it.
+_DEFAULT_BUDGET = 60
+
+
+def _same_failure(a: DifferentialResult, b: DifferentialResult) -> bool:
+    """Failing *the same way*: kind and offending engine must match.
+
+    The detail string is deliberately not compared — shrinking changes
+    epochs, digests and offsets while preserving the underlying bug.
+    """
+    return (not b.ok) and a.kind == b.kind and a.engine == b.engine
+
+
+def _transformations(s: FuzzScenario) -> List[FuzzScenario]:
+    """Candidate simplifications, most aggressive first."""
+    out: List[FuzzScenario] = []
+
+    def drop_domain(i: int) -> Optional[FuzzScenario]:
+        if len(s.profiles) <= 1:
+            return None
+        keep = [j for j in range(len(s.profiles)) if j != i]
+        return replace(
+            s,
+            profiles=tuple(s.profiles[j] for j in keep),
+            vcpus=tuple(s.vcpus[j] for j in keep),
+            active=tuple(s.active[j] for j in keep),
+            placements=tuple(s.placements[j] for j in keep),
+        )
+
+    for i in range(len(s.profiles)):
+        cand = drop_domain(i)
+        if cand is not None:
+            out.append(cand)
+
+    if s.max_time_s > 0.2:
+        out.append(replace(s, max_time_s=round(max(0.2, s.max_time_s / 2), 3)))
+
+    if s.fault != "none":
+        out.append(replace(s, fault="none", churn_at_s=0.0))
+
+    if any(nv > 1 for nv in s.vcpus):
+        halved = tuple(max(1, nv // 2) for nv in s.vcpus)
+        out.append(
+            replace(
+                s,
+                vcpus=halved,
+                active=tuple(min(a, nv) for a, nv in zip(s.active, halved)),
+            )
+        )
+
+    if s.num_nodes > 2:
+        out.append(replace(s, num_nodes=2, placements=_clip_placements(s, 2)))
+    if s.pcpus_per_node > 2:
+        out.append(replace(s, pcpus_per_node=2))
+
+    for i, kind in enumerate(s.placements):
+        if kind != "node0":
+            simpler = tuple(
+                "node0" if j == i else k for j, k in enumerate(s.placements)
+            )
+            out.append(replace(s, placements=simpler))
+
+    return out
+
+
+def _clip_placements(s: FuzzScenario, num_nodes: int):
+    return tuple(
+        f"node{int(k[4:]) % num_nodes}" if k.startswith("node") else k
+        for k in s.placements
+    )
+
+
+def shrink(
+    result: DifferentialResult,
+    budget: int = _DEFAULT_BUDGET,
+    check: Callable[[FuzzScenario], DifferentialResult] = run_differential,
+) -> DifferentialResult:
+    """Greedily minimise a failing scenario, preserving its failure.
+
+    Returns the differential result of the smallest scenario found (the
+    original ``result`` if nothing simpler still fails).  ``check`` is
+    injectable for tests; ``budget`` caps total differential runs.
+    """
+    if result.ok:
+        raise ValueError("cannot shrink a passing scenario")
+    best = result
+    runs = 0
+    improved = True
+    while improved and runs < budget:
+        improved = False
+        for candidate in _transformations(best.scenario):
+            if runs >= budget:
+                break
+            runs += 1
+            attempt = check(candidate)
+            if _same_failure(best, attempt):
+                best = attempt
+                improved = True
+                break  # restart from the smaller scenario
+    return best
+
+
+def repro_source(result: DifferentialResult, test_name: str) -> str:
+    """A ready-to-commit pytest case reproducing ``result``.
+
+    The scenario is embedded as a literal, so the test stands alone:
+    it re-runs the differential check and asserts it passes — exactly
+    the assertion that failed when the fuzzer found the bug.
+    """
+    s = result.scenario
+    lines = [
+        "def %s():" % test_name,
+        '    """Shrunken fuzzer repro: %s diverged (%s).' % (result.engine, result.kind),
+        "",
+        "    %s" % result.detail[:200].replace("\\", "\\\\").replace('"', '\\"'),
+        '    """',
+        "    scenario = FuzzScenario(",
+        "        seed=%d," % s.seed,
+        "        num_nodes=%d," % s.num_nodes,
+        "        pcpus_per_node=%d," % s.pcpus_per_node,
+        "        scheduler=%r," % s.scheduler,
+        "        profiles=%r," % (s.profiles,),
+        "        vcpus=%r," % (s.vcpus,),
+        "        active=%r," % (s.active,),
+        "        placements=%r," % (s.placements,),
+        "        work_scale=%r," % s.work_scale,
+        "        sample_period_s=%r," % s.sample_period_s,
+        "        max_time_s=%r," % s.max_time_s,
+        "        fault=%r," % s.fault,
+        "        churn_at_s=%r," % s.churn_at_s,
+        "    )",
+        "    result = run_differential(scenario)",
+        "    assert result.ok, f'{result.kind} on {result.engine}: {result.detail}'",
+        "",
+    ]
+    return "\n".join(lines)

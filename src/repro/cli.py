@@ -35,6 +35,15 @@ Commands
 
         python -m repro validate run.jsonl compare.json
 
+``audit``
+    Fuzz the engine-parity contract: seeded random scenarios run under
+    all three engines with every runtime invariant enabled, summaries
+    diffed, metamorphic relations checked, failures shrunk to minimal
+    pytest repros; exits non-zero on any finding::
+
+        python -m repro audit --seeds 25
+        python -m repro audit --seeds 5 --budget 120 --out audit.json
+
 ``bench``
     Re-run the committed benchmark suites and rewrite their
     ``benchmarks/BENCH_*.json`` records (requires a source checkout)::
@@ -189,6 +198,56 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate trace (.jsonl) / report (.json) files"
     )
     val_p.add_argument("files", nargs="+", type=pathlib.Path)
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="differential-fuzz the engines with runtime invariants on",
+    )
+    audit_p.add_argument(
+        "--seeds", type=int, default=25, help="number of generated scenarios"
+    )
+    audit_p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget in seconds; remaining seeds are skipped "
+        "(and reported as skipped) once exceeded",
+    )
+    audit_p.add_argument(
+        "--base-seed", type=int, default=0, help="first scenario seed"
+    )
+    audit_p.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        choices=["reference", "vector", "batched"],
+        help="engines to diff (default: all three; first is the baseline)",
+    )
+    audit_p.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic relations (differential only)",
+    )
+    audit_p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures raw instead of shrinking them",
+    )
+    audit_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT",
+        help="write the repro.audit/v1 JSON report here",
+    )
+    audit_p.add_argument(
+        "--write-repros",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="write each shrunken failure as a pytest file under DIR",
+    )
 
     solo_p = sub.add_parser("solo", help="solo calibration run (Fig. 3)")
     solo_p.add_argument("app")
@@ -440,7 +499,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.obs.schema import validate_report, validate_trace_file
+    from repro.obs.schema import (
+        AUDIT_SCHEMA,
+        validate_audit_report,
+        validate_report,
+        validate_trace_file,
+    )
 
     failures = 0
     for path in args.files:
@@ -452,7 +516,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             except (OSError, _json.JSONDecodeError) as exc:
                 errors = [str(exc)]
             else:
-                errors = validate_report(obj)
+                # Dispatch on the self-identifying schema field: audit
+                # reports get the stricter audit schema, everything
+                # else the report envelope.
+                if isinstance(obj, dict) and obj.get("schema") == AUDIT_SCHEMA:
+                    errors = validate_audit_report(obj)
+                else:
+                    errors = validate_report(obj)
         if errors:
             failures += 1
             print(f"{path}: INVALID")
@@ -461,6 +531,70 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         else:
             print(f"{path}: ok")
     return 1 if failures else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import ENGINES, run_audit
+    from repro.obs.schema import validate_audit_report
+
+    engines = tuple(args.engines) if args.engines else ENGINES
+    report = run_audit(
+        seeds=args.seeds,
+        budget_s=args.budget,
+        base_seed=args.base_seed,
+        engines=engines,
+        metamorphic=not args.no_metamorphic,
+        shrink_failures=not args.no_shrink,
+        progress=print,
+    )
+
+    checked = len(report.results)
+    rel_failed = sum(1 for _, m in report.metamorphic if not m.ok)
+    print(
+        f"\naudit: {checked}/{args.seeds} scenarios, "
+        f"{len(report.failures)} differential failures, "
+        f"{len(report.metamorphic)} metamorphic checks "
+        f"({rel_failed} failed), {report.checks_run} invariant checks, "
+        f"{report.elapsed_s:.1f}s"
+    )
+    if report.budget_exhausted:
+        print(
+            f"budget exhausted after {report.elapsed_s:.1f}s — "
+            f"skipped seeds: {list(report.skipped_seeds)}"
+        )
+    for failure in report.failures:
+        s = failure.shrunk
+        print(
+            f"\nFAIL seed {failure.original.scenario.seed} "
+            f"[{s.kind} on {s.engine}]: {s.detail}"
+        )
+        print(f"  shrunken scenario: {s.scenario.to_dict()}")
+    for seed, rel in report.metamorphic:
+        if not rel.ok:
+            print(f"\nFAIL seed {seed} [metamorphic {rel.relation}]: {rel.detail}")
+
+    envelope = report.to_dict()
+    errors = validate_audit_report(envelope)
+    if errors:  # pragma: no cover - guards the report writer itself
+        for err in errors:
+            print(f"schema error: {err}")
+        return 2
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.to_json() + "\n")
+        print(f"\naudit report written to {args.out}")
+    if args.write_repros is not None and report.failures:
+        args.write_repros.mkdir(parents=True, exist_ok=True)
+        header = (
+            "# Auto-written by `repro audit --write-repros`.\n"
+            "from repro.audit import FuzzScenario, run_differential\n\n\n"
+        )
+        for failure in report.failures:
+            seed = failure.original.scenario.seed
+            path = args.write_repros / f"test_fuzz_repro_seed_{seed}.py"
+            path.write_text(header + failure.repro)
+            print(f"repro written to {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_solo(args: argparse.Namespace) -> int:
@@ -596,6 +730,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "solo":
         return _cmd_solo(args)
     if args.command == "report":

@@ -81,6 +81,13 @@ def numa_aware_steal(
             break
         found = _scan_nodes(machine, pcpu, now, only_cold, hot_window, pressure_of)
         if found is not None:
+            # Audit hook: the stolen VCPU still records its victim PCPU
+            # (the machine rebinds it afterwards), so the checker can
+            # verify steal locality against the untouched local queues.
+            if machine.auditor is not None:
+                machine.auditor.check_steal(
+                    machine, pcpu, found, now, only_cold, hot_window
+                )
             return found
     return None
 

@@ -35,11 +35,21 @@ __all__ = ["PartitionDecision", "periodical_partition"]
 
 @dataclass(frozen=True, slots=True)
 class PartitionDecision:
-    """One Algorithm 1 assignment: a VCPU bound to a node for the period."""
+    """One Algorithm 1 assignment: a VCPU bound to a node for the period.
+
+    ``affinity`` is the *effective* affinity Algorithm 1 grouped the
+    VCPU under: its sampled memory-node affinity, or — for a VCPU the
+    analyzer has never sampled — the node it was running on when the
+    round started.  Recording the effective value keeps ``local``
+    truthful for never-sampled VCPUs assigned to their own node (the
+    raw ``None`` affinity used to force ``local=False``, skewing the
+    ``partition`` event's ``local=`` count and the page-migration
+    streaks built on it).
+    """
 
     vcpu_key: int
     vcpu_type: VcpuType
-    affinity: Optional[int]
+    affinity: int
     node: int
     local: bool  #: True when node == affinity (no new remote accesses)
 
@@ -83,12 +93,17 @@ def periodical_partition(
 
     # groupOfVc(c, p): unassigned VCPUs of type c with affinity p.
     # Affinity None (never sampled) is grouped under the VCPU's current
-    # node so brand-new VCPUs still participate.
+    # node so brand-new VCPUs still participate.  The effective affinity
+    # is captured *here*, per VCPU, because the assignment loop below
+    # migrates VCPUs as it goes — by decision time ``vcpu.pcpu`` already
+    # points at the target, so recomputing the fallback there would lie.
     groups: Dict[Tuple[VcpuType, int], Deque[Vcpu]] = {}
+    effective_affinity: Dict[int, int] = {}
     for vcpu in unassigned:
         affinity = vcpu.node_affinity
         if affinity is None:
             affinity = machine.topology.node_of_pcpu(vcpu.pcpu or 0)
+        effective_affinity[vcpu.key] = affinity
         groups.setdefault((vcpu.vcpu_type, affinity), deque()).append(vcpu)
 
     remaining = {VcpuType.LLC_T: 0, VcpuType.LLC_FI: 0}
@@ -118,7 +133,7 @@ def periodical_partition(
             vcpu = groups[(vtype, best_node)].popleft()
         remaining[vtype] -= 1
 
-        affinity = vcpu.node_affinity
+        affinity = effective_affinity[vcpu.key]
         target = machine.least_loaded_pcpu(min_node)
         vcpu.assigned_node = min_node
         machine.migrate_vcpu(vcpu, target.pcpu_id, now, reason="partition")
@@ -132,6 +147,9 @@ def periodical_partition(
             )
         )
         reassigned_load[min_node] += 1
+
+    if machine.auditor is not None:
+        machine.auditor.check_partition(machine, now, reassigned_load, decisions)
 
     machine.log.emit(
         now,

@@ -50,16 +50,22 @@ def execute_cell(
     builder: ScenarioBuilder,
     scheduler: str,
     cfg: ScenarioConfig,
+    audit: object = None,
 ) -> RunSummary:
     """Build and run one scenario under one scheduler, cache-blind.
 
     This is the function worker processes execute: it never touches a
     cache (the parent resolves hits and stores results), so workers
     need no shared state beyond the picklable cell itself.
+
+    ``audit`` attaches a runtime invariant checker
+    (:class:`~repro.audit.invariants.InvariantChecker`, or ``True``
+    for the default one) for the whole run; checks are read-only, so
+    the summary is bitwise what it is without them.
     """
     policy = make_scheduler(scheduler)
     machine = builder(policy, cfg)
-    machine.run()
+    machine.run(audit=audit)
     return summarize(machine)
 
 
@@ -68,13 +74,20 @@ def run_one(
     scheduler: str,
     cfg: ScenarioConfig,
     cache: Optional["ResultCache"] = None,
+    audit: object = None,
 ) -> RunSummary:
     """One scenario under one scheduler, via the cache when given.
 
     A builder without a provable identity (see
     :func:`repro.cache.keys.builder_fingerprint`) bypasses the cache
-    rather than risking a false hit.
+    rather than risking a false hit.  ``audit`` (an
+    :class:`~repro.audit.invariants.InvariantChecker` or ``True``)
+    forces the cell to actually run — a cache hit would skip the very
+    epochs the checker is meant to watch — so audited runs bypass the
+    cache entirely.
     """
+    if audit is not None:
+        return execute_cell(builder, scheduler, cfg, audit=audit)
     if cache is not None:
         from repro.cache.keys import result_key
 
@@ -96,15 +109,25 @@ def compare(
     cfg: ScenarioConfig,
     schedulers: Optional[Iterable[str]] = None,
     cache: Optional["ResultCache"] = None,
+    audit: object = None,
 ) -> Dict[str, RunSummary]:
     """Run the same scenario under several schedulers (paired seeds).
 
     Returns summaries keyed by scheduler name, in the requested order.
+    ``audit=True`` (or an
+    :class:`~repro.audit.invariants.InvariantChecker`) runs every cell
+    with runtime invariants on; a fresh checker is built per cell so
+    counters and history never leak between runs.
     """
     names = tuple(schedulers) if schedulers is not None else SCHEDULER_NAMES
     results: Dict[str, RunSummary] = {}
     for name in names:
-        results[name] = run_one(builder, name, cfg, cache)
+        cell_audit = audit
+        if audit is True:
+            from repro.audit.invariants import InvariantChecker
+
+            cell_audit = InvariantChecker()
+        results[name] = run_one(builder, name, cfg, cache, audit=cell_audit)
     return results
 
 

@@ -376,6 +376,19 @@ class PMU:
         """Cumulative counters for a VCPU (a defensive copy)."""
         return self._counters[vcpu_key].copy()
 
+    def peek(self, vcpu_key: int) -> VcpuCounters:
+        """The live cumulative bank for a VCPU, *no copy*.
+
+        For read-only hot paths (the audit layer's per-epoch
+        monotonicity checks) where :meth:`totals`'s defensive copy
+        would dominate the cost.  Callers must not mutate the result.
+        """
+        return self._counters[vcpu_key]
+
+    def peek_window_base(self, vcpu_key: int) -> VcpuCounters:
+        """The live window-base bank for a VCPU, *no copy* (read-only)."""
+        return self._window_base[vcpu_key]
+
     def window(self, vcpu_key: int) -> VcpuCounters:
         """Counters accumulated in the current sampling window."""
         return self._counters[vcpu_key].delta(self._window_base[vcpu_key])

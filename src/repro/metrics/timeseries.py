@@ -78,9 +78,17 @@ class Trace:
             prev = snap
         return out
 
-    def window_migration_rate(self) -> List[float]:
-        """Cross-node migrations per second in each window."""
-        out: List[float] = []
+    def window_migration_rate(self) -> List[Optional[float]]:
+        """Cross-node migrations per second in each window.
+
+        Zero-length windows (two snapshots at the same instant, e.g. a
+        run that completed exactly on a snapshot boundary) report
+        ``None``: a rate over no elapsed time is *unknown*, not zero —
+        the same sentinel convention as :meth:`window_remote_ratio`,
+        and the same "unknown ≠ zero" bias fix.  Callers needing plain
+        floats filter: ``[r for r in rates if r is not None]``.
+        """
+        out: List[Optional[float]] = []
         prev: Optional[Snapshot] = None
         for snap in self.snapshots:
             if prev is None:
@@ -88,7 +96,7 @@ class Trace:
                 continue
             dt = snap.time_s - prev.time_s
             delta = snap.migrations[1] - prev.migrations[1]
-            out.append(delta / dt if dt > 0 else 0.0)
+            out.append(delta / dt if dt > 0 else None)
             prev = snap
         return out
 

@@ -13,7 +13,10 @@ Two schema families are defined:
   discriminator (manifest / event / snapshot / summary);
 * report envelopes (``repro.report/v1``) — the wrapper every
   experiment's ``to_json()`` and ``repro compare --json`` emit:
-  ``{"schema": ..., "kind": ..., "payload": {...}}``.
+  ``{"schema": ..., "kind": ..., "payload": {...}}``;
+* audit reports (``repro.audit/v1``) — what ``repro audit`` emits:
+  per-seed differential verdicts, metamorphic relation outcomes and
+  shrunken failure repros (:mod:`repro.audit.report`).
 """
 
 from __future__ import annotations
@@ -25,16 +28,22 @@ from typing import Any, Dict, List, Union
 from repro.obs.manifest import TRACE_SCHEMA
 
 __all__ = [
+    "AUDIT_SCHEMA",
+    "AUDIT_REPORT_SCHEMA",
     "REPORT_SCHEMA",
     "REPORT_ENVELOPE_SCHEMA",
     "TRACE_LINE_SCHEMAS",
     "validate",
+    "validate_audit_report",
     "validate_report",
     "validate_trace_file",
 ]
 
 #: Schema identifier stamped on every JSON report envelope.
 REPORT_SCHEMA = "repro.report/v1"
+
+#: Schema identifier stamped on every ``repro audit`` report.
+AUDIT_SCHEMA = "repro.audit/v1"
 
 _NUMBER = {"type": "number"}
 _STRING = {"type": "string"}
@@ -123,6 +132,41 @@ REPORT_ENVELOPE_SCHEMA: Dict[str, Any] = {
     },
 }
 
+#: The ``repro audit`` report: envelope plus the payload fields CI and
+#: the regression harness read.  Per-scenario details stay loosely
+#: typed objects — their exact shape belongs to :mod:`repro.audit`.
+AUDIT_REPORT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["schema", "kind", "payload"],
+    "properties": {
+        "schema": {"const": AUDIT_SCHEMA},
+        "kind": {"const": "audit"},
+        "payload": {
+            "type": "object",
+            "required": [
+                "ok",
+                "seeds",
+                "engines",
+                "checks_run",
+                "elapsed_s",
+                "results",
+                "metamorphic",
+                "failures",
+            ],
+            "properties": {
+                "ok": {"type": "boolean"},
+                "seeds": {"type": "array", "items": _INT},
+                "engines": {"type": "array", "items": _STRING},
+                "checks_run": _INT,
+                "elapsed_s": _NUMBER,
+                "results": {"type": "array", "items": {"type": "object"}},
+                "metamorphic": {"type": "array", "items": {"type": "object"}},
+                "failures": {"type": "array", "items": {"type": "object"}},
+            },
+        },
+    },
+}
+
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "array": lambda v: isinstance(v, list),
@@ -173,6 +217,11 @@ def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> List[str
 def validate_report(obj: Any) -> List[str]:
     """Validate one report envelope (``to_json()`` / ``--json`` output)."""
     return validate(obj, REPORT_ENVELOPE_SCHEMA)
+
+
+def validate_audit_report(obj: Any) -> List[str]:
+    """Validate one ``repro audit`` report (``repro.audit/v1``)."""
+    return validate(obj, AUDIT_REPORT_SCHEMA)
 
 
 def validate_trace_file(path: Union[str, pathlib.Path]) -> List[str]:

@@ -233,6 +233,12 @@ class Machine:
         #: lazily built VectorEngine (None with engine="reference" or
         #: whenever the VCPU population changed since the last epoch)
         self._engine: Optional[VectorEngine] = None
+        #: runtime invariant checker (:mod:`repro.audit.invariants`),
+        #: attached via :meth:`run`'s ``audit=`` hook.  None (default)
+        #: keeps the audit layer completely out of the epoch loop — the
+        #: only cost is the ``is not None`` guards below — and every
+        #: check is read-only, so results are identical either way.
+        self.auditor = None
 
         self.time = 0.0
         self.epoch_index = 0
@@ -456,6 +462,7 @@ class Machine:
         self,
         max_time_s: Optional[float] = None,
         stop_check: "Optional[Callable[[], bool]]" = None,
+        audit: object = None,
     ) -> SimResult:
         """Advance the simulation until completion or the time limit.
 
@@ -467,7 +474,22 @@ class Machine:
         calling :meth:`run` again, and because every epoch boundary is
         a complete state, the continuation is bitwise the uninterrupted
         run.
+
+        ``audit`` attaches a runtime invariant checker for this and all
+        subsequent epochs: pass an
+        :class:`~repro.audit.invariants.InvariantChecker` (or ``True``
+        for a default one with every invariant enabled).  Checks are
+        read-only — they can raise
+        :class:`~repro.audit.invariants.InvariantViolation` but never
+        change simulated results.  ``None`` (default) leaves the
+        current auditor, if any, in place.
         """
+        if audit is not None:
+            if audit is True:
+                from repro.audit.invariants import InvariantChecker
+
+                audit = InvariantChecker()
+            self.auditor = audit
         limit = max_time_s if max_time_s is not None else self.config.max_time_s
         cap = self.config.max_epochs
         while self.time < limit - 1e-12:
@@ -598,6 +620,14 @@ class Machine:
                 if nxt is not None:
                     self._switch_in(pcpu, nxt, now)
 
+        # Audit hook: placement and work conservation are only
+        # guaranteed right here, after the pass filled every PCPU it
+        # could — later in the epoch a completing/blocking VCPU may
+        # legitimately leave queued work until the next pass.
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.after_schedule(self)
+
         # 4. Contention solve and progress.  The batched engine first
         # sizes an event horizon — how many upcoming epochs are free of
         # ticks, samples, wakes, phase changes, completions, faults and
@@ -640,13 +670,16 @@ class Machine:
 
         # 6. Sampling-period boundary (a macro-step's horizon is capped
         # at the next boundary, so it can land on one only batch-final).
-        if (self.epoch_index + stepped) % self._epochs_per_sample == 0:
+        sample_boundary = (self.epoch_index + stepped) % self._epochs_per_sample == 0
+        if sample_boundary:
             t0 = self.profiler.start()
             self.policy.on_sample_period(end)
             self.profiler.stop("sample_period", t0)
 
         self.time = end
         self.epoch_index += stepped
+        if auditor is not None:
+            auditor.after_epoch(self, sample_boundary)
 
     def _account_steal(self, thief: Pcpu, vcpu: Vcpu, now: float) -> None:
         source = vcpu.pcpu
@@ -798,10 +831,17 @@ class Machine:
         """
         state = self.__dict__.copy()
         state["_engine"] = None
+        # The auditor is runtime instrumentation, not simulation state:
+        # dropping the key entirely keeps the snapshot payload byte-for
+        # byte what it was before the audit layer existed (no
+        # CHECKPOINT_SCHEMA bump), and a resumed run re-attaches one via
+        # ``run(audit=...)`` if it wants auditing.
+        state.pop("auditor", None)
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
+        self.auditor = None
 
     # ------------------------------------------------------------------
     # Introspection helpers

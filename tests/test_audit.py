@@ -1,0 +1,517 @@
+"""Tests for repro.audit: invariants, fuzzing, metamorphic, shrinking.
+
+The mutation-detection tests are the audit layer's own audit: each one
+corrupts live machine state in a way a real bookkeeping bug would and
+asserts the matching invariant fires.  A checker that passes clean runs
+but also passes corrupted ones would be decorative.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.audit import (
+    ENGINES,
+    INVARIANT_NAMES,
+    DifferentialResult,
+    FuzzScenario,
+    InvariantChecker,
+    InvariantViolation,
+    build_fuzz_machine,
+    generate_scenario,
+    repro_source,
+    run_audit,
+    run_differential,
+    run_metamorphic,
+    shrink,
+    state_digest,
+)
+from repro.obs.schema import AUDIT_SCHEMA, validate_audit_report
+from repro.xen.vcpu import VcpuState
+
+
+def tiny_scenario(**overrides):
+    """A scenario small enough to run under every engine in tests."""
+    base = dict(
+        seed=3,
+        num_nodes=2,
+        pcpus_per_node=2,
+        scheduler="credit",
+        profiles=("hungry",),
+        vcpus=(4,),
+        active=(4,),
+        placements=("split",),
+        work_scale=0.05,
+        sample_period_s=0.25,
+        max_time_s=0.3,
+    )
+    base.update(overrides)
+    return FuzzScenario(**base)
+
+
+def warm_machine(scenario=None, engine="reference", max_time_s=0.1):
+    """A machine partway through a run, ready to be corrupted."""
+    machine = build_fuzz_machine(scenario or tiny_scenario(), engine)
+    machine.run(max_time_s=max_time_s)
+    return machine
+
+
+def expect_violation(invariant, fn):
+    with pytest.raises(InvariantViolation) as excinfo:
+        fn()
+    err = excinfo.value
+    assert err.invariant == invariant
+    assert err.digest and err.engine
+    return err
+
+
+class TestCheckerConfig:
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ValueError, match="unknown invariant"):
+            InvariantChecker(enabled=("placement", "no-such-check"))
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            InvariantChecker(every=0)
+
+    def test_disabled_subtracts_from_enabled(self):
+        checker = InvariantChecker(disabled=("placement", "steal_locality"))
+        assert checker.enabled == set(INVARIANT_NAMES) - {
+            "placement",
+            "steal_locality",
+        }
+
+    def test_describe_reports_configuration(self):
+        checker = InvariantChecker(enabled=("placement",), every=4)
+        desc = checker.describe()
+        assert desc == {"enabled": ["placement"], "every": 4, "checks_run": 0}
+
+
+class TestCleanRuns:
+    def test_full_audit_passes_on_clean_run(self):
+        machine = build_fuzz_machine(tiny_scenario(), "reference")
+        checker = InvariantChecker(every=1)
+        machine.run(audit=checker)
+        assert checker.checks_run > 0
+        assert machine.auditor is checker
+
+    def test_all_invariants_disabled_means_zero_checks(self):
+        machine = build_fuzz_machine(tiny_scenario(), "reference")
+        checker = InvariantChecker(enabled=(), every=1)
+        machine.run(audit=checker)
+        assert checker.checks_run == 0
+
+    def test_audit_true_attaches_default_checker(self):
+        machine = build_fuzz_machine(tiny_scenario(), "reference")
+        machine.run(audit=True)
+        assert isinstance(machine.auditor, InvariantChecker)
+
+    def test_audited_run_is_bitwise_identical(self):
+        from repro.metrics.collectors import summarize
+        from repro.obs.manifest import canonical_dumps
+
+        texts = []
+        for audit in (None, InvariantChecker(every=1)):
+            machine = build_fuzz_machine(tiny_scenario(), "reference")
+            machine.run(audit=audit)
+            texts.append(
+                canonical_dumps(summarize(machine).to_dict(include_profile=False))
+            )
+        assert texts[0] == texts[1]
+
+    def test_checkpoint_payload_excludes_auditor(self):
+        machine = build_fuzz_machine(tiny_scenario(), "reference")
+        machine.run(max_time_s=0.05, audit=True)
+        restored = pickle.loads(pickle.dumps(machine))
+        assert restored.auditor is None
+        assert machine.auditor is not None  # the live machine keeps its checker
+
+    def test_checker_rebinds_across_machines(self):
+        """One checker auditing two runs must not leak conservation
+        history from the first machine into the second."""
+        checker = InvariantChecker(every=1)
+        warm = build_fuzz_machine(tiny_scenario(), "reference")
+        warm.run(audit=checker)
+        after_first = checker.checks_run
+        second = build_fuzz_machine(tiny_scenario(seed=9), "reference")
+        second.run(audit=checker)  # would raise if history leaked
+        assert checker.checks_run > after_first
+
+
+class TestMutationDetection:
+    """Every invariant must catch the corruption it exists for."""
+
+    def test_placement_catches_non_running_current(self):
+        machine = warm_machine()
+        checker = InvariantChecker(every=1)
+        victim = next(p.current for p in machine.pcpus if p.current is not None)
+        victim.state = VcpuState.BLOCKED
+        expect_violation("placement", lambda: checker.after_schedule(machine))
+
+    def test_placement_catches_double_queueing(self):
+        machine = warm_machine(tiny_scenario(vcpus=(6,), active=(6,)))
+        checker = InvariantChecker(every=1)
+        queued = next(v for p in machine.pcpus for v in p.queue)
+        other = next(p for p in machine.pcpus if queued not in p.queue)
+        other.queue.push(queued)
+        expect_violation("placement", lambda: checker.after_schedule(machine))
+
+    def test_placement_catches_vanished_runnable(self):
+        machine = warm_machine(tiny_scenario(vcpus=(6,), active=(6,)))
+        checker = InvariantChecker(enabled=("placement",), every=1)
+        queued = next(v for p in machine.pcpus for v in p.queue)
+        machine.pcpus[queued.pcpu].queue.remove(queued)
+        expect_violation("placement", lambda: checker.after_schedule(machine))
+
+    def test_work_conservation_catches_idle_with_queue(self):
+        machine = warm_machine(tiny_scenario(vcpus=(6,), active=(6,)))
+        checker = InvariantChecker(enabled=("work_conservation",), every=1)
+        loaded = next(p for p in machine.pcpus if p.queue)
+        loaded.current = None
+        expect_violation(
+            "work_conservation", lambda: checker.after_schedule(machine)
+        )
+
+    def test_credit_catches_out_of_bounds(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("credit_conservation",), every=1)
+        machine.vcpus[0].credits = 1e9
+        expect_violation(
+            "credit_conservation", lambda: checker.after_epoch(machine, True)
+        )
+
+    def test_credit_catches_total_moving_without_tick(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("credit_conservation",), every=1)
+        checker.after_epoch(machine, True)  # records the baseline total
+        machine.vcpus[0].credits += 50.0  # in bounds, but from nowhere
+        expect_violation(
+            "credit_conservation", lambda: checker.after_epoch(machine, True)
+        )
+
+    def test_pmu_monotone_catches_counter_rollback(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("pmu_monotone",), every=1)
+        checker.after_epoch(machine, True)  # records current totals
+        bank = machine.pmu.peek(machine.vcpus[0].key)
+        bank.instructions -= 1.0
+        expect_violation(
+            "pmu_monotone", lambda: checker.after_epoch(machine, True)
+        )
+
+    def test_pmu_window_catches_detached_base(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("pmu_window",), every=1)
+        key = machine.vcpus[0].key
+        base = machine.pmu.peek_window_base(key)
+        machine.pmu.peek(key).instructions = base.instructions - 1.0
+        expect_violation(
+            "pmu_window", lambda: checker.after_epoch(machine, True)
+        )
+
+    def test_partition_spread_catches_uneven_round(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("partition_spread",))
+        expect_violation(
+            "partition_spread",
+            lambda: checker.check_partition(machine, 1.0, [3, 0], [None] * 3),
+        )
+
+    def test_partition_spread_catches_lost_decisions(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("partition_spread",))
+        expect_violation(
+            "partition_spread",
+            lambda: checker.check_partition(machine, 1.0, [1, 1], [None] * 3),
+        )
+
+    def test_partition_hook_accepts_even_round(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("partition_spread",))
+        checker.check_partition(machine, 1.0, [2, 1], [None] * 3)
+        checker.check_partition(machine, 1.0, [0, 0], [])
+        assert checker.checks_run == 2
+
+    def test_steal_locality_catches_remote_steal_over_local_work(self):
+        machine = build_fuzz_machine(tiny_scenario(vcpus=(4,), active=(4,)), "reference")
+        checker = InvariantChecker(enabled=("steal_locality",))
+        thief = machine.pcpus[0]
+        local_victim = machine.pcpus[1]  # same node as the thief
+        cold = machine.vcpus[0]
+        stolen = machine.vcpus[1]
+        for pcpu in machine.pcpus:
+            for v in list(pcpu.queue):
+                pcpu.queue.remove(v)
+        cold.pcpu = local_victim.pcpu_id
+        cold.last_ran_time = -10.0
+        local_victim.queue.push(cold)
+        stolen.pcpu = machine.topology.pcpus_of_node(1)[0]  # remote victim
+        expect_violation(
+            "steal_locality",
+            lambda: checker.check_steal(
+                machine, thief, stolen, 1.0, True, 0.020
+            ),
+        )
+
+    def test_steal_locality_catches_busy_thief_taking_hot_work(self):
+        machine = warm_machine()
+        checker = InvariantChecker(enabled=("steal_locality",))
+        thief = next(p for p in machine.pcpus if p.current is not None)
+        hot = next(v for v in machine.vcpus if v is not thief.current)
+        hot.last_ran_time = machine.time
+        expect_violation(
+            "steal_locality",
+            lambda: checker.check_steal(
+                machine, thief, hot, machine.time, False, 0.020
+            ),
+        )
+
+    def test_steal_locality_accepts_local_steal(self):
+        machine = build_fuzz_machine(tiny_scenario(), "reference")
+        checker = InvariantChecker(enabled=("steal_locality",))
+        thief = machine.pcpus[0]
+        stolen = machine.vcpus[0]
+        stolen.pcpu = machine.pcpus[1].pcpu_id  # same-node victim
+        stolen.last_ran_time = -10.0
+        checker.check_steal(machine, thief, stolen, 1.0, True, 0.020)
+        assert checker.checks_run == 1
+
+
+class TestStateDigest:
+    def test_digest_is_deterministic(self):
+        a = build_fuzz_machine(tiny_scenario(), "reference")
+        b = build_fuzz_machine(tiny_scenario(), "reference")
+        assert state_digest(a) == state_digest(b)
+
+    def test_digest_sees_credit_mutations(self):
+        machine = build_fuzz_machine(tiny_scenario(), "reference")
+        before = state_digest(machine)
+        machine.vcpus[0].credits += 1.0
+        assert state_digest(machine) != before
+
+
+class TestFuzzScenario:
+    def test_generator_is_deterministic(self):
+        assert generate_scenario(11) == generate_scenario(11)
+
+    def test_json_round_trip(self):
+        scenario = generate_scenario(11)
+        restored = FuzzScenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict()))
+        )
+        assert restored == scenario
+
+    def test_generated_scenarios_are_well_formed(self):
+        for seed in range(20):
+            s = generate_scenario(seed)
+            assert 1 <= len(s.profiles) <= 3
+            assert all(1 <= a <= nv for a, nv in zip(s.active, s.vcpus))
+            assert s.fault == "churn" or s.churn_at_s == 0.0
+
+    def test_misaligned_domains_rejected(self):
+        with pytest.raises(ValueError, match="vcpus"):
+            tiny_scenario(profiles=("hungry", "mcf"))
+
+
+class TestDifferential:
+    def test_clean_scenario_passes(self):
+        result = run_differential(tiny_scenario(), engines=("reference", "vector"))
+        assert result.ok and result.kind == "ok"
+        assert result.checks_run > 0
+        assert set(result.summaries) == {"reference", "vector"}
+        assert result.summaries["reference"] == result.summaries["vector"]
+
+    def test_divergence_reported_with_first_difference(self, monkeypatch):
+        import repro.audit.fuzz as fuzz
+
+        texts = iter(['{"steals": 4}', '{"steals": 5}'])
+        monkeypatch.setattr(fuzz, "canonical_dumps", lambda obj: next(texts))
+        result = run_differential(tiny_scenario(), engines=("reference", "vector"))
+        assert not result.ok
+        assert result.kind == "divergence"
+        assert result.engine == "vector"
+        assert "first difference at char" in result.detail
+
+    def test_invariant_violation_reported(self, monkeypatch):
+        import repro.audit.fuzz as fuzz
+
+        class AlwaysFail(InvariantChecker):
+            def after_schedule(self, machine):
+                self.checks_run += 1
+                self._fail(machine, "placement", "forced failure")
+
+        monkeypatch.setattr(
+            fuzz, "InvariantChecker", lambda enabled=None, every=1: AlwaysFail()
+        )
+        result = run_differential(tiny_scenario(), engines=("reference",))
+        assert not result.ok
+        assert result.kind == "invariant"
+        assert result.engine == "reference"
+        assert "[placement] forced failure" in result.detail
+
+    def test_crash_reported_as_error(self):
+        result = run_differential(
+            tiny_scenario(scheduler="no-such-policy"), engines=("reference",)
+        )
+        assert not result.ok
+        assert result.kind == "error"
+        assert result.engine == "reference"
+
+
+def synthetic_check(predicate):
+    """A run_differential stand-in failing exactly when predicate holds."""
+
+    def check(scenario):
+        if predicate(scenario):
+            return DifferentialResult(
+                scenario, ok=False, kind="divergence", engine="vector",
+                detail="synthetic",
+            )
+        return DifferentialResult(scenario, ok=True, kind="ok")
+
+    return check
+
+
+class TestShrink:
+    def big_failure(self, check):
+        scenario = tiny_scenario(
+            num_nodes=4,
+            pcpus_per_node=4,
+            profiles=("mcf", "hungry", "lu"),
+            vcpus=(4, 4, 4),
+            active=(4, 4, 4),
+            placements=("split", "interleaved", "node3"),
+            fault="noisy",
+            max_time_s=1.2,
+        )
+        return check(scenario)
+
+    def test_greedy_shrink_reaches_minimum(self):
+        check = synthetic_check(lambda s: len(s.profiles) >= 2)
+        shrunk = shrink(self.big_failure(check), check=check)
+        s = shrunk.scenario
+        assert len(s.profiles) == 2  # dropping to 1 makes it pass
+        assert s.fault == "none"
+        assert s.max_time_s == 0.2
+        assert s.vcpus == (1, 1)
+        assert s.num_nodes == 2 and s.pcpus_per_node == 2
+        assert all(p == "node0" for p in s.placements)
+        assert not shrunk.ok  # still fails the same way
+
+    def test_shrink_respects_budget(self):
+        calls = []
+
+        def check(scenario):
+            calls.append(scenario)
+            return DifferentialResult(
+                scenario, ok=False, kind="divergence", engine="vector"
+            )
+
+        shrink(self.big_failure(check), budget=3, check=check)
+        assert len(calls) <= 4  # the original probe plus the budget
+
+    def test_shrinking_a_pass_is_an_error(self):
+        ok = DifferentialResult(tiny_scenario(), ok=True, kind="ok")
+        with pytest.raises(ValueError):
+            shrink(ok)
+
+    def test_repro_source_is_executable(self):
+        check = synthetic_check(lambda s: True)
+        failure = check(tiny_scenario())
+        src = repro_source(failure, "test_generated_repro")
+        assert "FuzzScenario(" in src and "seed=3," in src
+        namespace = {
+            "FuzzScenario": FuzzScenario,
+            "run_differential": lambda s: DifferentialResult(s, True, "ok"),
+        }
+        exec(compile(src, "<repro>", "exec"), namespace)
+        namespace["test_generated_repro"]()  # passes once the bug is fixed
+        namespace["run_differential"] = check
+        with pytest.raises(AssertionError):
+            namespace["test_generated_repro"]()  # fails while it is not
+
+
+class TestMetamorphic:
+    def test_relations_hold_on_tiny_scenario(self):
+        results = run_metamorphic(tiny_scenario(), every=8)
+        assert [r.relation for r in results] == [
+            "relabel",
+            "work_scale",
+            "node_permutation",
+        ]
+        for r in results:
+            assert r.ok, f"{r.relation}: {r.detail}"
+        relabel = results[0]
+        assert not relabel.skipped
+
+
+class TestAuditReport:
+    def test_small_campaign_report_validates(self):
+        report = run_audit(seeds=2, metamorphic=False, progress=lambda s: None)
+        assert report.ok
+        assert len(report.results) == 2
+        assert report.checks_run > 0
+        assert not report.budget_exhausted
+        obj = json.loads(report.to_json())
+        assert obj["schema"] == AUDIT_SCHEMA
+        assert validate_audit_report(obj) == []
+
+    def test_exhausted_budget_is_reported_not_hidden(self):
+        report = run_audit(seeds=3, budget_s=-1.0, metamorphic=False)
+        assert report.budget_exhausted
+        assert report.skipped_seeds == (0, 1, 2)
+        assert report.results == ()
+
+
+class TestCliAudit:
+    def test_audit_command_writes_valid_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "audit.json"
+        rc = main(
+            [
+                "audit",
+                "--seeds",
+                "1",
+                "--no-metamorphic",
+                "--engines",
+                "reference",
+                "vector",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "audit:" in capsys.readouterr().out
+        assert validate_audit_report(json.loads(out.read_text())) == []
+        assert main(["validate", str(out)]) == 0
+
+
+class TestRunnerIntegration:
+    def test_audited_run_one_bypasses_cache(self):
+        from repro.experiments import ScenarioConfig, spec_scenario
+        from repro.experiments.runner import run_one
+
+        class ExplodingCache:
+            def get(self, key):
+                raise AssertionError("audited run consulted the cache")
+
+            def put(self, key, value, meta=None):
+                raise AssertionError("audited run wrote to the cache")
+
+        cfg = ScenarioConfig(work_scale=0.02, seed=5, max_time_s=0.3)
+        builder = lambda policy, c: spec_scenario("lu", policy, c)  # noqa: E731
+        summary = run_one(
+            builder, "credit", cfg, cache=ExplodingCache(), audit=True
+        )
+        assert summary.machine_stats.sim_time_s > 0
+
+    def test_compare_with_audit_uses_fresh_checkers(self):
+        from repro.experiments import ScenarioConfig, spec_scenario
+        from repro.experiments.runner import compare
+
+        cfg = ScenarioConfig(work_scale=0.02, seed=5, max_time_s=0.3)
+        builder = lambda policy, c: spec_scenario("lu", policy, c)  # noqa: E731
+        results = compare(builder, cfg, schedulers=("credit", "vprobe"), audit=True)
+        assert set(results) == {"credit", "vprobe"}

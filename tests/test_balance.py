@@ -157,3 +157,32 @@ class TestCacheHotFilter:
         park(machine, hot, pcpu_id=1, pressure=0.1, last_ran=0.999)
         stolen = numa_aware_steal(machine, machine.pcpus[0], now=1.0)
         assert stolen is hot
+
+    def test_busy_thief_never_falls_back_to_hot_work(self):
+        """A thief with local work must return None when every queued
+        candidate is cache-hot: the ``only_cold=False`` fallback is
+        reserved for a PCPU about to idle, so a busy one never reaches
+        it — even with steals available machine-wide."""
+        machine = build_machine()
+        clear_queues(machine)
+        park(machine, machine.vcpus[0], pcpu_id=1, pressure=0.1, last_ran=0.999)
+        park(machine, machine.vcpus[1], pcpu_id=5, pressure=0.1, last_ran=0.999)
+        thief = machine.pcpus[0]
+        thief.queue.push(machine.vcpus[2])  # local work: stays picky
+        assert numa_aware_steal(machine, thief, now=1.0) is None
+
+    def test_all_hot_queue_skipped_for_cold_candidate_elsewhere(self):
+        """An entirely cache-hot queue yields no candidates and the scan
+        moves on — it must neither crash on the empty candidate list nor
+        steal hot work from the loaded peer."""
+        machine = build_machine()
+        clear_queues(machine)
+        hot_a, hot_b, cold = machine.vcpus[0], machine.vcpus[1], machine.vcpus[2]
+        # PCPU 1 is the most loaded peer but holds only hot work.
+        park(machine, hot_a, pcpu_id=1, pressure=0.1, last_ran=0.999)
+        park(machine, hot_b, pcpu_id=1, pressure=0.2, last_ran=0.998)
+        park(machine, cold, pcpu_id=2, pressure=50.0, last_ran=0.0)
+        thief = machine.pcpus[0]
+        thief.queue.push(machine.vcpus[3])  # busy: cache-hot filter stays on
+        stolen = numa_aware_steal(machine, thief, now=1.0)
+        assert stolen is cold

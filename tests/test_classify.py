@@ -147,3 +147,40 @@ class TestTypeHysteresis:
         hyst.reset(0)
         # Forgotten key behaves like a brand new one: immediate commit.
         assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FI
+
+    def test_third_type_mid_streak_restarts_at_one(self):
+        """A third class appearing mid-streak restarts the count at 1 —
+        it must not inherit the previous candidate's progress."""
+        hyst = TypeHysteresis(3)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T)  # T streak at 2
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FR
+        assert hyst.pending(0) == (VcpuType.LLC_FI, 1)
+        # FI needs its own full streak: 2 more windows, not 1.
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FR
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FI) is VcpuType.LLC_FI
+
+    def test_reset_during_pending_switch_clears_streak(self):
+        """``reset()`` mid-streak drops the pending switch *and* the
+        seen marker, so the next sample commits immediately instead of
+        resuming a stale count."""
+        hyst = TypeHysteresis(2)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_FR)
+        hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T)  # pending (T, 1)
+        hyst.reset(0)
+        assert hyst.pending(0) is None
+        assert hyst.update(0, VcpuType.LLC_FR, VcpuType.LLC_T) is VcpuType.LLC_T
+        assert hyst.pending(0) is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=50), min_size=1, max_size=20))
+    def test_windows_1_is_plain_classify(self, pressures):
+        """``windows=1`` reproduces un-debounced Eq. 3 exactly: every
+        raw sample commits, whatever came before."""
+        hyst = TypeHysteresis(1)
+        committed = VcpuType.LLC_FR
+        for pressure in pressures:
+            raw = classify(pressure)
+            committed = hyst.update(0, committed, raw)
+            assert committed is raw
+            assert hyst.pending(0) is None

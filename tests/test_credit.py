@@ -108,6 +108,19 @@ class TestNumaBlindSteal:
         target = policy.on_vcpu_wake(vcpu, 0.002)
         assert target != 0
 
+    def test_wake_with_no_lighter_pcpu_stays_home_without_rng_draw(self):
+        """The empty-``lighter`` guard: when nowhere is less loaded than
+        home the VCPU stays put, and crucially *no* draw is taken from
+        the ``credit.wake`` stream — ``rng.integers(0)`` would raise,
+        and even a discarded draw would perturb every later wake in the
+        run, breaking paired-seed comparability."""
+        machine = build_machine(num_vcpus=8, pins=list(range(8)))
+        policy = machine.policy
+        state_before = machine.rng.get("credit.wake").bit_generator.state
+        for vcpu in machine.vcpus:  # perfectly even load: 1 per PCPU
+            assert policy.on_vcpu_wake(vcpu, 0.0) == vcpu.pcpu
+        assert machine.rng.get("credit.wake").bit_generator.state == state_before
+
 
 class TestWeights:
     def test_refill_proportional_to_domain_weight(self):

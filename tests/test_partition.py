@@ -105,6 +105,29 @@ class TestAffinityPreference:
         decisions = periodical_partition(machine, now=1.0)
         assert len(decisions) == 2
 
+    def test_never_sampled_vcpu_reports_effective_affinity(self):
+        """Regression: a never-sampled VCPU (``node_affinity is None``)
+        assigned to the node it was already running on must report
+        ``local=True``.
+
+        Algorithm 1 groups such VCPUs under their current node, but the
+        decision used to record the raw ``None`` affinity, forcing
+        ``local=False`` and skewing the ``partition`` event's local
+        count.  The decision must carry the *effective* affinity — the
+        node the VCPU occupied when the round started, captured before
+        any migration rebinds ``vcpu.pcpu``.
+        """
+        machine = build_machine([(VcpuType.LLC_T, None), (VcpuType.LLC_T, None)])
+        start_node = {v.key: node_of(machine, v) for v in machine.vcpus}
+        decisions = periodical_partition(machine, now=1.0)
+        assert len(decisions) == 2
+        for d in decisions:
+            assert d.affinity == start_node[d.vcpu_key]
+            assert d.local == (d.node == d.affinity)
+        # Even spread puts one VCPU per node; whichever lands on its own
+        # start node must be counted local (used to be zero always).
+        assert sum(1 for d in decisions if d.local) >= 1
+
 
 class TestTargetPcpuChoice:
     def test_migrates_to_least_loaded_pcpu_of_node(self):

@@ -86,7 +86,28 @@ class TestTraceRun:
     def test_migration_rate_non_negative(self):
         machine = build()
         trace = trace_run(machine, interval_s=0.25)
-        assert all(r >= 0 for r in trace.window_migration_rate())
+        rates = trace.window_migration_rate()
+        # None marks a zero-length window (unknown rate), not a number.
+        assert all(r >= 0 for r in rates if r is not None)
+
+    def test_migration_rate_zero_length_window_is_none(self):
+        """Two snapshots at the same instant: the rate is unknown, not
+        zero and certainly not a ZeroDivisionError — the same sentinel
+        convention as ``window_remote_ratio``."""
+        trace = trace_run(build(), interval_s=0.25)
+        last = trace.snapshots[-1]
+        same_instant = type(last)(
+            time_s=last.time_s,
+            accesses=dict(last.accesses),
+            instructions=dict(last.instructions),
+            intensive_per_node=last.intensive_per_node,
+            migrations=(last.migrations[0] + 3, last.migrations[1] + 3),
+            overhead_s=last.overhead_s,
+        )
+        trace.snapshots.append(same_instant)
+        rates = trace.window_migration_rate()
+        assert rates[-1] is None
+        assert all(r >= 0 for r in rates[:-1] if r is not None)
 
     def test_node_imbalance_shape(self):
         machine = build(policy=vprobe())
