@@ -8,10 +8,13 @@ per the project's optimisation rules, measure before optimising.
 it times the reference, vector and batched engines back to back with
 ``time.perf_counter`` (so it runs even under ``--benchmark-disable``),
 asserts the vector engine is at least 3x and the batched engine at
-least 2x faster per epoch than the reference, and writes the measured
-numbers — including full cold-run wall clocks at ``work_scale=1.0`` —
-to ``benchmarks/BENCH_engine.json``.  CI runs this test as its
-perf-regression smoke and uploads the JSON as an artifact.
+least 2x faster per epoch than the reference, asserts the batched
+engine beats the vector engine end to end on the loaded scenario, and
+writes the measured numbers — full cold-run wall clocks at
+``work_scale=1.0`` plus the batched run's horizon histogram and
+fused-tick counters — to ``benchmarks/BENCH_engine.json``.  CI runs
+this test as its perf-regression smoke and uploads the JSON as an
+artifact.
 """
 
 import json
@@ -41,6 +44,16 @@ ENGINES = ("reference", "vector", "batched")
 #: vector path there — its large wins are on quieter scenarios.
 MIN_VECTOR_SPEEDUP = 3.0
 MIN_BATCHED_SPEEDUP = 2.0
+
+#: End-to-end floor for the batched engine against the vector engine
+#: on the loaded scenario: CPU time, min-of-2 interleaved cold runs.
+#: Measured
+#: ~1.25-1.30x: with 24 VCPUs contending for 8 PCPUs nearly every
+#: Credit tick rotates an incumbent (only ~1.5% of ticks are quiescent)
+#: and wakes truncate horizons to p50 = 3 epochs, so tick fusion's
+#: end-to-end win is bounded by event density, not by per-epoch cost —
+#: see DESIGN.md §6.  The floor leaves margin for CI machine noise.
+MIN_BATCHED_VS_VECTOR = 1.1
 
 
 def _steady_machine(engine: str):
@@ -113,14 +126,40 @@ def test_engine_speedup():
     # End-to-end cold runs: the same workload from scratch at full
     # scale, wall-clocked through Machine.run() — initial placement,
     # warm-up churn and steady state included.
-    def run_full(engine: str) -> float:
+    def run_full(engine: str):
         cfg = ScenarioConfig(work_scale=1.0, seed=0, engine=engine)
         machine = spec_scenario("soplex", make_scheduler("vprobe"), cfg)
         start = time.perf_counter()
+        cpu_start = time.process_time()
         machine.run()
-        return time.perf_counter() - start
+        cpu = time.process_time() - cpu_start
+        return time.perf_counter() - start, cpu, machine
 
-    walls = {engine: run_full(engine) for engine in ENGINES}
+    walls = {}
+    cpus = {}
+    batched_machine = None
+    for engine in ENGINES:
+        walls[engine], cpus[engine], machine = run_full(engine)
+        if engine == "batched":
+            batched_machine = machine
+    # The batched-vs-vector ratio is a gate, so it compares CPU time
+    # (immune to background load) over the min of two interleaved
+    # rounds: a load spike during a single cold run would otherwise
+    # fail the floor spuriously.
+    for engine in ("vector", "batched"):
+        wall, cpu, _ = run_full(engine)
+        walls[engine] = min(walls[engine], wall)
+        cpus[engine] = min(cpus[engine], cpu)
+    batched_vs_vector = cpus["vector"] / cpus["batched"]
+
+    horizon = batched_machine._engine.horizon_stats()
+    assert horizon is not None
+    # The whole point of macro-stepping: the batched run must cover its
+    # epochs in strictly fewer advance_batch calls than epochs stepped.
+    assert horizon["batches"] < horizon["epochs"], (
+        f"batched engine made {horizon['batches']} advance_batch calls "
+        f"for {horizon['epochs']} epochs — horizons never exceeded 1"
+    )
 
     BENCH_JSON.write_text(
         json.dumps(
@@ -146,10 +185,11 @@ def test_engine_speedup():
                     "batched_speedup": round(
                         walls["reference"] / walls["batched"], 2
                     ),
-                    "batched_vs_vector": round(
-                        walls["vector"] / walls["batched"], 2
-                    ),
+                    "vector_cpu_s": round(cpus["vector"], 3),
+                    "batched_cpu_s": round(cpus["batched"], 3),
+                    "batched_vs_vector": round(batched_vs_vector, 2),
                 },
+                "horizon": horizon,
             },
             indent=2,
         )
@@ -165,6 +205,11 @@ def test_engine_speedup():
         f"batched engine speedup {batched_speedup:.2f}x "
         f"({best['reference']:.1f} -> {best['batched']:.1f} us/epoch) "
         f"fell below {MIN_BATCHED_SPEEDUP}x"
+    )
+    assert batched_vs_vector >= MIN_BATCHED_VS_VECTOR, (
+        f"batched engine end-to-end {batched_vs_vector:.2f}x vs vector "
+        f"({cpus['vector']:.2f}s -> {cpus['batched']:.2f}s CPU) "
+        f"fell below {MIN_BATCHED_VS_VECTOR}x"
     )
 
 

@@ -64,7 +64,7 @@ from repro.obs import (
     write_trace,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

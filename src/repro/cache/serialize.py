@@ -106,4 +106,5 @@ def summary_from_payload(payload: Dict[str, Any]) -> RunSummary:
         },
         fault_stats=_faults_from(payload["fault_stats"]),
         phase_profile=_profile_from(payload.get("phase_profile")),
+        horizon_stats=payload.get("horizon_stats"),
     )

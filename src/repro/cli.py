@@ -312,9 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--suite",
         nargs="+",
-        default=["engine", "grid", "profiler"],
-        choices=["engine", "grid", "profiler"],
-        help="which benchmark suites to run (default: all three)",
+        default=["engine", "grid", "profiler", "audit"],
+        choices=["engine", "grid", "profiler", "audit"],
+        help="which benchmark suites to run (default: all of them)",
     )
 
     cache_p = sub.add_parser(
@@ -660,7 +660,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     record in place, so a successful run leaves the committed numbers
     refreshed: ``engine`` covers the reference/vector/batched per-epoch
     and cold-run comparison, ``grid`` the cache-aware report dispatch,
-    ``profiler`` the always-on profiling overhead guard.
+    ``profiler`` the always-on profiling overhead guard, ``audit`` the
+    runtime-invariant and differential-fuzz overhead record.
     """
     import pytest as _pytest
 

@@ -3,7 +3,7 @@
 Every ``to_json()`` across ``experiments/`` returns the same
 schema-versioned wrapper::
 
-    {"schema": "repro.report/v1", "kind": "fig4", "payload": {...}}
+    {"schema": "repro.report/v2", "kind": "fig4", "payload": {...}}
 
 so downstream tooling (CI validation, run diffing, plotting scripts)
 can dispatch on ``kind`` without knowing each figure's shape, and

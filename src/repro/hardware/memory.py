@@ -372,7 +372,7 @@ class MemorySystem:
         np.multiply(
             traffic, np.where(local_mask, mix1, mix0), out=flows[2]
         )
-        totals = np.cumsum(flows, axis=2)[:, :, -1]
+        totals = flows.cumsum(axis=2)[:, :, -1]
 
         cap = 8.0
         knee = 1.0 - 1.0 / cap

@@ -16,7 +16,7 @@ overhead accounting of Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -175,6 +175,16 @@ class PMU:
         """
         return np.array([self._row_of[key] for key in keys])
 
+    def banks_for(self, keys: Sequence[int]) -> List[VcpuCounters]:
+        """Live counter banks for ``keys`` (cacheable by batch chargers).
+
+        Valid until any of the keys is unregistered; the bank objects
+        are stable across matrix growth (only their ``node_accesses``
+        views are rebound).
+        """
+        counters = self._counters
+        return [counters[key] for key in keys]
+
     def known(self) -> Tuple[int, ...]:
         """Registered VCPU keys (sorted)."""
         return tuple(sorted(self._counters))
@@ -293,6 +303,7 @@ class PMU:
         run_nodes: Sequence[int],
         rows: np.ndarray,
         local_mask: "np.ndarray | None" = None,
+        banks: "List[VcpuCounters] | None" = None,
     ) -> None:
         """Charge a horizon of quiet epochs in one go (2-node only).
 
@@ -313,8 +324,9 @@ class PMU:
         local``) elementwise.  Bank results are written back as Python
         floats.
         """
-        counters = self._counters
-        banks = [counters[key] for key in keys]
+        if banks is None:
+            counters = self._counters
+            banks = [counters[key] for key in keys]
         matrix = self._node_matrix
         k = len(banks)
         if local_mask is None:
@@ -332,8 +344,9 @@ class PMU:
             start_l[3 * k + i] = b.local_accesses
             start_l[4 * k + i] = b.remote_accesses
         chain[0, : 5 * k] = start_l
-        chain[0, 5 * k : 6 * k] = matrix[rows, 0]
-        chain[0, 6 * k :] = matrix[rows, 1]
+        mrows = matrix[rows]
+        chain[0, 5 * k : 6 * k] = mrows[:, 0]
+        chain[0, 6 * k :] = mrows[:, 1]
         body = chain[1:]
         body[:, :k] = instructions
         body[:, k : 2 * k] = llc_refs
@@ -342,9 +355,10 @@ class PMU:
         body[:, 4 * k : 5 * k] = (acc0 + acc1) - local
         body[:, 5 * k : 6 * k] = acc0
         body[:, 6 * k :] = acc1
-        tot = np.cumsum(chain, axis=0)[-1]
-        matrix[rows, 0] = tot[5 * k : 6 * k]
-        matrix[rows, 1] = tot[6 * k :]
+        tot = chain.cumsum(axis=0)[-1]
+        mrows[:, 0] = tot[5 * k : 6 * k]
+        mrows[:, 1] = tot[6 * k :]
+        matrix[rows] = mrows
         vals = tot[: 5 * k].tolist()
         for i, bank in enumerate(banks):
             bank.instructions = vals[i]
@@ -352,6 +366,55 @@ class PMU:
             bank.llc_misses = vals[2 * k + i]
             bank.local_accesses = vals[3 * k + i]
             bank.remote_accesses = vals[4 * k + i]
+
+    def batch_seed_into(
+        self,
+        banks: "List[VcpuCounters]",
+        rows: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Seed a caller-owned packed chain row with bank totals.
+
+        ``out`` is a length-``7*k`` view laid out as the column blocks
+        of :meth:`charge_epoch_batch`'s chain: [instructions | refs |
+        misses | local | remote | node-0 | node-1].  Splitting the
+        seed/commit halves lets a batch engine append these blocks to
+        its own packed chain and run one cumsum over everything; the
+        per-column chains are unchanged, so the bitwise contract of
+        :meth:`charge_epoch_batch` carries over block by block.
+        """
+        k = len(banks)
+        start_l = [0.0] * (5 * k)
+        for i, b in enumerate(banks):
+            start_l[i] = b.instructions
+            start_l[k + i] = b.llc_refs
+            start_l[2 * k + i] = b.llc_misses
+            start_l[3 * k + i] = b.local_accesses
+            start_l[4 * k + i] = b.remote_accesses
+        out[: 5 * k] = start_l
+        mrows = self._node_matrix[rows]
+        out[5 * k : 6 * k] = mrows[:, 0]
+        out[6 * k :] = mrows[:, 1]
+
+    def batch_commit(
+        self,
+        banks: "List[VcpuCounters]",
+        rows: np.ndarray,
+        tot: np.ndarray,
+    ) -> None:
+        """Write back packed chain totals (layout of batch_seed_into)."""
+        k = len(banks)
+        vals = tot[: 5 * k].tolist()
+        for i, bank in enumerate(banks):
+            bank.instructions = vals[i]
+            bank.llc_refs = vals[k + i]
+            bank.llc_misses = vals[2 * k + i]
+            bank.local_accesses = vals[3 * k + i]
+            bank.remote_accesses = vals[4 * k + i]
+        mrows = np.empty((k, 2))
+        mrows[:, 0] = tot[5 * k : 6 * k]
+        mrows[:, 1] = tot[6 * k :]
+        self._node_matrix[rows] = mrows
 
     # ------------------------------------------------------------------
     # Reading (called by schedulers; costs hypervisor time)

@@ -142,6 +142,13 @@ class RunSummary:
     (``compare=False``) because wall-clock differs between otherwise
     bitwise-identical runs — the engine-parity and serial/parallel
     equality contracts compare simulated results only.
+
+    ``horizon_stats`` carries the batched engine's horizon-length
+    distribution and fusion counters
+    (:meth:`~repro.xen.engine.BatchedEngine.horizon_stats`); it is None
+    on the reference and vector engines and therefore also excluded
+    from equality — it describes how the run was *executed*, not what
+    it computed.
     """
 
     policy: str
@@ -149,6 +156,7 @@ class RunSummary:
     domains: Dict[str, DomainStats]
     fault_stats: Optional[FaultStats] = None
     phase_profile: Optional[Dict[str, PhaseStat]] = field(default=None, compare=False)
+    horizon_stats: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def domain(self, name: str) -> DomainStats:
         """Stats for one domain, by name."""
@@ -157,9 +165,10 @@ class RunSummary:
     def to_dict(self, include_profile: bool = True) -> Dict[str, Any]:
         """JSON-serializable form.
 
-        ``include_profile=False`` omits the wall-clock phase profile —
-        required wherever output must be identical across engines and
-        hosts (the JSONL trace writer uses it).
+        ``include_profile=False`` omits the execution-side extras — the
+        wall-clock phase profile and the batched engine's horizon
+        statistics — required wherever output must be identical across
+        engines and hosts (the JSONL trace writer uses it).
         """
         out: Dict[str, Any] = {
             "policy": self.policy,
@@ -175,6 +184,7 @@ class RunSummary:
                 if self.phase_profile is not None
                 else None
             )
+            out["horizon_stats"] = self.horizon_stats
         return out
 
 
@@ -223,4 +233,11 @@ def summarize(machine: Machine) -> RunSummary:
         domains={d.name: collect_domain(machine, d) for d in machine.domains},
         fault_stats=machine.faults.stats() if machine.faults is not None else None,
         phase_profile=machine.profiler.snapshot() if machine.profiler.enabled else None,
+        horizon_stats=_horizon_stats(machine),
     )
+
+
+def _horizon_stats(machine: Machine) -> Optional[Dict[str, Any]]:
+    """The batched engine's horizon histogram; None on other engines."""
+    stats = getattr(machine._engine, "horizon_stats", None)
+    return stats() if stats is not None else None

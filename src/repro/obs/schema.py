@@ -11,9 +11,11 @@ Two schema families are defined:
 
 * trace lines (``repro.trace/v1``) — one schema per ``type``
   discriminator (manifest / event / snapshot / summary);
-* report envelopes (``repro.report/v1``) — the wrapper every
+* report envelopes (``repro.report/v2``) — the wrapper every
   experiment's ``to_json()`` and ``repro compare --json`` emit:
-  ``{"schema": ..., "kind": ..., "payload": {...}}``;
+  ``{"schema": ..., "kind": ..., "payload": {...}}``.  v2 run
+  summaries may carry a ``horizon_stats`` block (the batched engine's
+  horizon histogram and fusion counters; null on other engines);
 * audit reports (``repro.audit/v1``) — what ``repro audit`` emits:
   per-seed differential verdicts, metamorphic relation outcomes and
   shrunken failure repros (:mod:`repro.audit.report`).
@@ -39,8 +41,11 @@ __all__ = [
     "validate_trace_file",
 ]
 
-#: Schema identifier stamped on every JSON report envelope.
-REPORT_SCHEMA = "repro.report/v1"
+#: Schema identifier stamped on every JSON report envelope.  Bumped to
+#: v2 when run summaries grew the optional ``horizon_stats`` block; v1
+#: envelopes (no such block was ever emitted) fail validation so stale
+#: artifacts are regenerated rather than silently mixed.
+REPORT_SCHEMA = "repro.report/v2"
 
 #: Schema identifier stamped on every ``repro audit`` report.
 AUDIT_SCHEMA = "repro.audit/v1"

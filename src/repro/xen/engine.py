@@ -68,22 +68,37 @@ class _KeyArrays:
 
     __slots__ = (
         "rpi", "cpi", "mlp", "conc", "anti", "drift", "keep",
-        "clock", "ns2c",
+        "clock", "ns2c", "packed", "node_packed",
     )
 
     def __init__(self, engine: "VectorEngine") -> None:
-        self.rpi = np.array(engine.rpi)
-        self.cpi = np.array(engine.cpi_base)
-        self.mlp = np.array(engine.mlp)
-        conc = np.array(engine.conc)
-        self.conc = conc
+        n = len(engine.rpi)
+        # Packed (7, n) mirror: one fancy index gathers every per-VCPU
+        # constant a batch build needs.  Row views alias the packed
+        # storage, so the named arrays stay available.
+        packed = np.empty((7, n))
+        packed[0] = engine.rpi
+        packed[1] = engine.cpi_base
+        packed[2] = engine.mlp
+        packed[3] = engine.conc
         # Elementwise (1.0 - x): identical bits to the scalar form.
-        self.anti = 1.0 - conc
-        drift = np.array(engine.drift_amount)
-        self.drift = drift
-        self.keep = 1.0 - drift
-        self.clock = np.array(engine.node_clock)
-        self.ns2c = np.array(engine.node_ns2c)
+        np.subtract(1.0, packed[3], out=packed[4])
+        packed[5] = engine.drift_amount
+        np.subtract(1.0, packed[5], out=packed[6])
+        self.packed = packed
+        self.rpi = packed[0]
+        self.cpi = packed[1]
+        self.mlp = packed[2]
+        self.conc = packed[3]
+        self.anti = packed[4]
+        self.drift = packed[5]
+        self.keep = packed[6]
+        node_packed = np.empty((2, len(engine.node_clock)))
+        node_packed[0] = engine.node_clock
+        node_packed[1] = engine.node_ns2c
+        self.node_packed = node_packed
+        self.clock = node_packed[0]
+        self.ns2c = node_packed[1]
 
 
 class _Gather:
@@ -113,14 +128,17 @@ class _Gather:
         "mix_row_src",
         "mix_over_src",
         "pmu_rows",
+        "pmu_banks",
         "node_members",
         "node_member_sets",
         "node_charge",
         "node_positions",
         "node_solve",
         "node_batch",
+        "node_miss_tuples",
         "mix_groups",
         "binv",
+        "fused",
     )
 
     def __init__(self, engine: "VectorEngine", pcpus, vcpus, k: int) -> None:
@@ -134,35 +152,26 @@ class _Gather:
         self.clock = [engine.node_clock[n] for n in node_of]
         self.ns2c = [engine.node_ns2c[n] for n in node_of]
         self.drift = [engine.drift_amount[key] for key in keys]
-        self.totals = [
-            v.workload.profile.total_instructions for v in vcpus
-        ]
+        self.totals = [engine.total_instr[key] for key in keys]
 
-        # Sub-memoised pieces: many distinct global signatures (the
-        # per-PCPU queue rotations multiply) share the same per-node
-        # co-runner sets, concentration columns, page-mix groups and
-        # PMU rows, so those live in engine-level caches.
-        keys_t = tuple(keys)
-        cols = engine._conc_cache.get(keys_t)
-        if cols is None:
-            conc_l = [engine.conc[key] for key in keys]
+        # Concentration scalars; (1.0 - c) is identical bits to the
+        # scalar subtraction in MemoryPlacement.page_mix.  The column
+        # vectors only feed the multi-node ufunc mix path, so the
+        # dual-socket fast path skips building them.
+        conc_l = [engine.conc[key] for key in keys]
+        self.conc_l = conc_l
+        self.anti_l = [1.0 - c for c in conc_l]
+        if engine.two_node:
+            self.conc_col = None
+            self.anti_conc_col = None
+        else:
             conc = np.array(conc_l)
-            # (1.0 - concentration), elementwise — identical bits to
-            # the scalar subtraction in MemoryPlacement.page_mix.
-            cols = (
-                conc[:, None],
-                (1.0 - conc)[:, None],
-                conc_l,
-                [1.0 - c for c in conc_l],
-            )
-            engine._conc_cache[keys_t] = cols
-        self.conc_col, self.anti_conc_col, self.conc_l, self.anti_l = cols
+            self.conc_col = conc[:, None]
+            self.anti_conc_col = (1.0 - conc)[:, None]
 
-        rows = engine._pmu_rows_cache.get(keys_t)
-        if rows is None:
-            rows = engine.machine.pmu.rows_for(keys)
-            engine._pmu_rows_cache[keys_t] = rows
-        self.pmu_rows = rows
+        pmu = engine.machine.pmu
+        self.pmu_rows = pmu.rows_for(keys)
+        self.pmu_banks = pmu.banks_for(keys)
 
         # Per-node co-runner groups, sorted by key (the order the
         # reference's sorted(demands) solve iterates).  The waterfilled
@@ -184,6 +193,7 @@ class _Gather:
         self.node_charge = []
         self.node_solve = []
         self.node_batch = []
+        self.node_miss_tuples = []
         caches = engine.machine.caches
         for node in range(num_nodes):
             m = members[node]
@@ -216,49 +226,63 @@ class _Gather:
                             (j, s) for j, s in enumerate(shape_l) if s != 1.0
                         ),
                     ),
+                    # Member-ordered miss-curve tuples for the fused
+                    # replay plan: (share, minmr, span, shape, ws<=0).
+                    [
+                        (
+                            share_l[j],
+                            minmr_l[j],
+                            span_l[j],
+                            shape_l[j],
+                            ws_l[j] <= 0,
+                        )
+                        for j in range(len(m))
+                    ],
                 )
                 engine._node_cache[node_key] = entry
             self.node_member_sets.append(entry[0])
             self.node_charge.append(entry[1])
             self.node_solve.append(entry[2])
             self.node_batch.append(entry[3])
+            self.node_miss_tuples.append(entry[4])
 
         # Page-mix gather plan.  Dual-socket machines get direct
         # references to each VCPU's placement-mirror row (stable list
         # objects, see MemoryPlacement); other topologies group VCPUs
         # by placement object so each group's slice rows load with one
         # fancy index.
-        plan = engine._mix_cache.get(keys_t)
-        if plan is None:
-            if engine.two_node:
-                row_src = []
-                over_src = []
-                for vcpu in vcpus:
-                    placement = vcpu.domain.placement
-                    row_src.append(placement._rows2[vcpu.workload.slice_id])
-                    over_src.append(placement._over2)
-                plan = (None, row_src, over_src)
-            else:
-                by_placement: Dict[int, Tuple[object, List[int], List[int]]] = {}
-                for i in range(k):
-                    vcpu = vcpus[i]
-                    placement = vcpu.domain.placement
-                    group = by_placement.get(id(placement))
-                    if group is None:
-                        group = (placement, [], [])
-                        by_placement[id(placement)] = group
-                    group[1].append(vcpu.workload.slice_id)
-                    group[2].append(i)
-                groups = [
-                    (placement, np.array(slices), np.array(positions))
-                    for placement, slices, positions in by_placement.values()
-                ]
-                plan = (groups, None, None)
-            engine._mix_cache[keys_t] = plan
-        self.mix_groups, self.mix_row_src, self.mix_over_src = plan
+        if engine.two_node:
+            row2 = engine.mix_row2
+            self.mix_groups = None
+            self.mix_row_src = [row2[key] for key in keys]
+            over2 = engine.mix_over2
+            self.mix_over_src = [over2[key] for key in keys]
+        else:
+            by_placement: Dict[int, Tuple[object, List[int], List[int]]] = {}
+            placement_of = engine.placement_of
+            for i in range(k):
+                vcpu = vcpus[i]
+                placement = placement_of[keys[i]]
+                group = by_placement.get(id(placement))
+                if group is None:
+                    group = (placement, [], [])
+                    by_placement[id(placement)] = group
+                group[1].append(vcpu.workload.slice_id)
+                group[2].append(i)
+            self.mix_groups = [
+                (placement, np.array(slices), np.array(positions))
+                for placement, slices, positions in by_placement.values()
+            ]
+            self.mix_row_src = None
+            self.mix_over_src = None
         #: lazily-built macro-step constants (see _BatchInvariants);
         #: sharing the gather's cache slot keeps one memo per signature.
         self.binv = None
+        #: lazily-built fused-replay plan (see
+        #: BatchedEngine._build_fused_plan) — every structure the scalar
+        #: replay needs that depends only on the assignment, not on the
+        #: evolving warmth/progress state.
+        self.fused = None
 
 
 class VectorEngine:
@@ -301,6 +325,14 @@ class VectorEngine:
         self.rpi: List[float] = [0.0] * n
         self.demand: List[Optional[CacheDemand]] = [None] * n
         self.charge_factor: List[float] = [1.0] * n
+        self.total_instr: List[float] = [0.0] * n
+        # Per-key placement mirrors (refreshed with the phase, since the
+        # active slice moves with it).  Placement objects are fixed after
+        # machine setup and the dual-socket row/overall mirrors are
+        # stable list objects, so gather builds reduce to indexed loads.
+        self.placement_of: List[object] = [None] * n
+        self.mix_row2: List[Optional[list]] = [None] * n
+        self.mix_over2: List[Optional[list]] = [None] * n
         self._generation = 0
         #: per-key phase generation: bumped by refresh_vcpu(), woven
         #: into the gather signature so a phase change invalidates only
@@ -308,20 +340,18 @@ class VectorEngine:
         #: everyone else's memos survive.
         self.key_gen: List[int] = [0] * n
         # Cached per-running-set gathers (see _Gather).  Assignments
-        # recur as queues rotate, so gathers are memoised by signature;
-        # the per-key generations in the signature strand stale entries
-        # (the size cap eventually drops them).
+        # recur as queues rotate, so gathers are memoised by
+        # (keys, pcpus) with the per-key generations stored alongside:
+        # a phase change replaces the stale entry in place, so the dict
+        # never grows past the number of distinct assignments (the size
+        # cap is a safety valve only).
         self._gather: Optional[_Gather] = None
         self._gather_sig: Optional[Tuple] = None
-        self._gather_cache: Dict[Tuple, _Gather] = {}
-        # Sub-memos shared across gathers.  The first two depend only on
-        # immutable profile/topology facts; the last two are phase-
-        # dependent, so refresh_vcpu() evicts their entries mentioning
-        # the refreshed key.
-        self._conc_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
-        self._pmu_rows_cache: Dict[Tuple, np.ndarray] = {}
+        self._gather_cache: Dict[Tuple, Tuple[Tuple, _Gather]] = {}
+        # Per-co-runner-set sub-memo shared across gathers (waterfill
+        # shares recur as queues rotate).  Phase-dependent, so
+        # refresh_vcpu() evicts entries mentioning the refreshed key.
         self._node_cache: Dict[Tuple, Tuple] = {}
-        self._mix_cache: Dict[Tuple, List] = {}
         # ndarray mirrors of the per-key lists, rebuilt lazily when the
         # phase generation moves (see _KeyArrays / key_arrays()).
         self._key_arrays: Optional[_KeyArrays] = None
@@ -387,6 +417,12 @@ class VectorEngine:
         self.demand[key] = demand
         tau = max(1e-4, demand.working_set_bytes / LLCState.FILL_BANDWIDTH)
         self.charge_factor[key] = math.exp(-self.epoch / tau)
+        self.total_instr[key] = w.profile.total_instructions
+        placement = vcpu.domain.placement
+        self.placement_of[key] = placement
+        if self.two_node:
+            self.mix_row2[key] = placement._rows2[w.slice_id]
+            self.mix_over2[key] = placement._over2
         self._generation += 1
         self.key_gen[key] += 1
         # Selective eviction: only memos that embed this key's phase-
@@ -397,9 +433,6 @@ class VectorEngine:
         node_cache = self._node_cache
         for nk in [nk for nk in node_cache if key in nk[1]]:
             del node_cache[nk]
-        mix_cache = self._mix_cache
-        for kt in [kt for kt in mix_cache if key in kt]:
-            del mix_cache[kt]
 
     def key_arrays(self) -> _KeyArrays:
         """Current-generation ndarray mirrors of the per-key constants."""
@@ -494,20 +527,20 @@ class VectorEngine:
 
         # Look up (or build) the per-assignment gather.
         kg = self.key_gen
-        sig = (
-            tuple(sig_keys),
-            tuple(sig_pids),
-            tuple(kg[key] for key in sig_keys),
-        )
+        sig_kp = (tuple(sig_keys), tuple(sig_pids))
+        gens = tuple(kg[key] for key in sig_keys)
+        sig = (sig_kp, gens)
         if sig != self._gather_sig:
             cache = self._gather_cache
-            gather = cache.get(sig)
-            if gather is None:
+            entry = cache.get(sig_kp)
+            if entry is None or entry[0] != gens:
                 gather = _Gather(self, running_pcpus, running_vcpus, k)
                 machine.profiler.count("gather_build")
                 if len(cache) >= 1024:
                     cache.clear()
-                cache[sig] = gather
+                cache[sig_kp] = (gens, gather)
+            else:
+                gather = entry[1]
             self._gather = gather
             self._gather_sig = sig
         else:
@@ -697,6 +730,25 @@ class VectorEngine:
             )
 
 
+#: Running-set-size-keyed cache of the constant inner-affine vectors of
+#: the fused batch recurrence (see _BatchInvariants): i2 = [-1]*k +
+#: [1]*2k, i1 = [1]*k + [0]*2k.  Read-only by construction.
+_AFF_INNER_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _aff_inner(k: int) -> Tuple[np.ndarray, np.ndarray]:
+    ent = _AFF_INNER_CACHE.get(k)
+    if ent is None:
+        k3 = 3 * k
+        i1 = np.zeros(k3)
+        i1[:k] = 1.0
+        i2 = np.ones(k3)
+        i2[:k] = -1.0
+        ent = (i1, i2)
+        _AFF_INNER_CACHE[k] = ent
+    return ent
+
+
 class _BatchInvariants:
     """Per-assignment constants of the macro-step kernels.
 
@@ -717,8 +769,10 @@ class _BatchInvariants:
         "ns2c",
         "conc2",
         "anti2",
-        "keep2",
-        "add2",
+        "aff_o1",
+        "aff_o2",
+        "aff_i1",
+        "aff_i2",
         "indep_drift",
         "alias_groups",
         "dom_groups",
@@ -742,15 +796,20 @@ class _BatchInvariants:
         g = engine.key_arrays()
         idx = np.array(gather.keys)
         nd = np.array(gather.node_of)
-        self.rpi = g.rpi[idx]
-        self.cpi = g.cpi[idx]
-        self.mlp = g.mlp[idx]
-        self.clock = g.clock[nd]
-        self.ns2c = g.ns2c[nd]
+        # One fancy gather pulls every per-VCPU constant (packed rows:
+        # rpi, cpi, mlp, conc, anti, drift, keep); the result is a fresh
+        # copy, so mutating its rows below never touches the mirrors.
+        P = g.packed[:, idx]
+        N = g.node_packed[:, nd]
+        self.rpi = P[0]
+        self.cpi = P[1]
+        self.mlp = P[2]
+        self.clock = N[0]
+        self.ns2c = N[1]
         # Doubled columns ([node-0 | node-1] halves of the RR/OO mix
         # matrices) share each VCPU's concentration scalars.
-        conc = g.conc[idx]
-        anti = g.anti[idx]
+        conc = P[3]
+        anti = P[4]
         self.conc2 = np.concatenate((conc, conc))
         self.anti2 = np.concatenate((anti, anti))
         mask0 = nd == 0
@@ -765,24 +824,26 @@ class _BatchInvariants:
         drift = gather.drift
         node_of = gather.node_of
         row_src = gather.mix_row_src
-        by_row: Dict[int, List[int]] = {}
-        for i in range(k):
-            by_row.setdefault(id(row_src[i]), []).append(i)
         self.alias_groups = []
         alias_cols: Set[int] = set()
-        for cols in by_row.values():
-            if len(cols) < 2:
-                continue
-            upd = [
-                (i, 1.0 - drift[i], drift[i], node_of[i])
-                for i in cols
-                if drift[i] > 0.0
-            ]
-            if not upd:
-                continue  # nobody drifts it: the row is constant
-            num_slices = running_vcpus[cols[0]].domain.placement.num_slices
-            self.alias_groups.append((cols, upd, num_slices))
-            alias_cols.update(cols)
+        ids = [id(r) for r in row_src]
+        if len(set(ids)) != k:
+            by_row: Dict[int, List[int]] = {}
+            for i in range(k):
+                by_row.setdefault(ids[i], []).append(i)
+            for cols in by_row.values():
+                if len(cols) < 2:
+                    continue
+                upd = [
+                    (i, 1.0 - drift[i], drift[i], node_of[i])
+                    for i in cols
+                    if drift[i] > 0.0
+                ]
+                if not upd:
+                    continue  # nobody drifts it: the row is constant
+                num_slices = running_vcpus[cols[0]].domain.placement.num_slices
+                self.alias_groups.append((cols, upd, num_slices))
+                alias_cols.update(cols)
 
         # Independently-owned rows as a linear per-epoch map: row' =
         # row * keep + add.  VCPUs without drift (and aliased columns,
@@ -792,8 +853,8 @@ class _BatchInvariants:
         # columns.  (`np.where` selects the stored drift floats
         # verbatim; a zero-drift VCPU contributes the same 0.0 either
         # way.)
-        drift_v = g.drift[idx]
-        keep_v = g.keep[idx]
+        drift_v = P[5]
+        keep_v = P[6]
         add0 = np.where(mask0, drift_v, 0.0)
         add1 = np.where(mask0, 0.0, drift_v)
         if alias_cols:
@@ -801,8 +862,6 @@ class _BatchInvariants:
             keep_v[cols] = 1.0
             add0[cols] = 0.0
             add1[cols] = 0.0
-        self.keep2 = np.concatenate((keep_v, keep_v))
-        self.add2 = np.concatenate((add0, add1))
         self.indep_drift = bool((keep_v != 1.0).any())
 
         # Running VCPUs grouped by domain (the shared `overall` mix
@@ -835,8 +894,10 @@ class _BatchInvariants:
                 for p, c in enumerate(idxs)
                 if c in col_override
             )
+            idxs_arr = np.array(idxs)
             self.dom_groups.append(
-                (over, idxs, placement, num_slices, has_drift, ovr)
+                (over, idxs_arr, idxs_arr + k, placement, num_slices,
+                 has_drift, ovr)
             )
 
         # Flattened miss-curve constants, gather-position-ordered so the
@@ -867,6 +928,29 @@ class _BatchInvariants:
         self.cf = mc[3]
         self.ws_bad = tuple(ws_bad)
         self.shaped = tuple(shaped)
+
+        # Fused per-epoch recurrence x' = o + o2*(i1 + i2*x) over the
+        # packed state [warmth | row-0 | row-1] (see advance_batch).
+        # Warmth columns: i1+i2*x = 1 + (-1)*w == 1 - w, and o1+o2*u =
+        # 1 + (-cf)*u == 1 - cf*u — IEEE negation is exact and x - y
+        # == x + (-y), (-a)*b == -(a*b) bit for bit, so these are the
+        # reference's three warmth ops verbatim.  Row columns: the
+        # inner pass is the identity (1*x is exact; 0.0 + x is exact
+        # because placement fractions are sums/products of non-negative
+        # floats, so -0.0 never occurs) and the outer pass is the
+        # drift map add + keep*x (addition commutes bitwise).
+        k3 = 3 * k
+        o1 = np.empty(k3)
+        o1[:k] = 1.0
+        o1[k : 2 * k] = add0
+        o1[2 * k :] = add1
+        o2 = np.empty(k3)
+        np.negative(self.cf, out=o2[:k])
+        o2[k : 2 * k] = keep_v
+        o2[2 * k :] = keep_v
+        self.aff_o1 = o1
+        self.aff_o2 = o2
+        self.aff_i1, self.aff_i2 = _aff_inner(k)
 
 
 class BatchedEngine(VectorEngine):
@@ -900,15 +984,40 @@ class BatchedEngine(VectorEngine):
     #: launching the 2D kernels: a short batch cannot amortise the
     #: kernels' fixed dispatch cost, and the replay is bitwise-exact by
     #: construction (it *is* the singleton path, minus event checks the
-    #: horizon already proved are no-ops).  Measured break-even on the
-    #: steady-state SPEC scenario sits between 4 and 5 epochs.
-    _REPLAY_MAX = 4
+    #: horizon already proved are no-ops).  The fused scalar replay
+    #: (hoisted scans/commits + inlined dual-socket solve) moved the
+    #: measured break-even on the loaded SPEC scenario from ~5 epochs
+    #: out to ~16: at the paper's k=8 running set the 2D kernels are
+    #: dispatch-bound, so they only win on long quiet runs (lightly
+    #: loaded machines routinely see horizons in the hundreds).
+    _REPLAY_MAX = 16
 
     def __init__(self, machine: "Machine") -> None:
         super().__init__(machine)
         self._cache_advance_batch = [
             cache.state.advance_compact_batch for cache in machine.caches
         ]
+        config = machine.config
+        # getattr: a machine restored from a pre-fusion checkpoint pickles
+        # a SimConfig without the new knobs.
+        self._fuse_ticks = getattr(config, "fuse_ticks", True)
+        self._speculative = getattr(config, "speculative", False)
+        #: pending fused-boundary plan for the batch compute_horizon just
+        #: sized: a list of ``(j, time, slice_proj, repicks)`` tuples, one
+        #: per provably-quiescent Credit tick inside the horizon.
+        self._fuse_plan: Optional[list] = None
+        self._horizon_hist: Dict[int, int] = {}
+        self._batch_calls = 0
+        self._fused_tick_total = 0
+        self._repick_total = 0
+        self._spec_attempts = 0
+        self._spec_misses = 0
+        #: hoisted latency/topology constants for the fused replay,
+        #: built on first use (see _build_fused_plan).
+        self._fused_scalars: Optional[tuple] = None
+        #: run-static constants for _horizon_fused, built on first call
+        #: (policy params and latency floors never change mid-run).
+        self._fh_const: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Event horizon
@@ -918,11 +1027,35 @@ class BatchedEngine(VectorEngine):
 
         Called after the stepper has run this epoch's fault, tick, wake
         and scheduling phases; returns 1 whenever any discrete event
-        could fire before the batch would end.
+        could fire before the batch would end.  With tick fusion enabled
+        (the default) a horizon may additionally span Credit ticks the
+        policy's quiescence projection proves are no-ops — the plan of
+        fused boundaries is left in ``_fuse_plan`` for advance_batch.
         """
+        self._fuse_plan = None
         machine = self.machine
         if not self.two_node:
-            return 1
+            kb = 1
+        else:
+            fuse = self._fuse_ticks
+            if fuse:
+                faults = machine.faults
+                if faults is not None and faults.plan.stall_rate > 0:
+                    # Pending stall overhead lands at arbitrary epochs and
+                    # is invisible to the quiescence projection — keep the
+                    # classic stall-capped sizing for these runs.
+                    fuse = False
+            if fuse:
+                kb = self._horizon_fused(now, limit)
+            else:
+                kb = self._horizon_classic(now, limit)
+        hist = self._horizon_hist
+        hist[kb] = hist.get(kb, 0) + 1
+        return kb
+
+    def _horizon_classic(self, now: float, limit: float) -> int:
+        """PR 5 horizon sizing: every Credit tick terminates the batch."""
+        machine = self.machine
         e0 = machine.epoch_index
         epoch = self.epoch
         kb = machine._epochs_per_tick - (e0 % machine._epochs_per_tick)
@@ -1017,6 +1150,284 @@ class BatchedEngine(VectorEngine):
             j += 1
         return kb if kb > 1 else 1
 
+    def _horizon_fused(self, now: float, limit: float) -> int:
+        """Horizon sizing that spans provably-quiescent Credit ticks.
+
+        One merged walk along the epoch axis checks, per epoch, the same
+        caps as :meth:`_horizon_classic` (wakes, crashes, the run limit,
+        phase changes, inclusive run-burst expiries) *plus*, at every
+        tick boundary, a quiescence projection of the tick's arithmetic:
+
+        * the policy must promise stock Credit behaviour for that tick
+          (:meth:`SchedulerPolicy.tick_is_quiescent`);
+        * the projected debit/refill must not tickle-preempt anyone (no
+          queue head outranking a running VCPU's post-tick priority) and
+          must not flip a *queued* VCPU across the UNDER/OVER line (a
+          flip reorders its queue at ``_requeue_for_priority``, which can
+          change every later pick);
+        * a projected slice expiry is fusable only as a *re-pick*: no
+          idle PCPU, every queue empty machine-wide, and the policy's
+          ``fused_repick_steals_none`` licence in force — then the
+          expiry provably re-selects the incumbent and the boundary's
+          real calls replay at commit time (RNG draws included).
+
+        Ticks that pass are recorded in ``self._fuse_plan`` as
+        ``(j, time, slice_proj, repicks)`` and committed by
+        advance_batch; the first tick that fails terminates the horizon
+        exactly where the classic sizing would.
+
+        The finite-work completion floor is tightened relative to the
+        classic one: every LLC reference costs at least
+        ``min(llc_hit_ns, local_dram_ns)`` (remote latency is local plus
+        a non-negative premium, and queueing only inflates penalties),
+        so ``clock / (cpi_base + rpi * floor_ns * ns2c / mlp)`` is still
+        a true upper bound on the retire rate while sitting far below
+        ``clock / cpi_base`` for memory-bound keys.  Under
+        ``speculative=True`` the floor is skipped entirely and the
+        post-kernel validation in advance_batch truncates mis-speculated
+        batches instead.
+        """
+        machine = self.machine
+        e0 = machine.epoch_index
+        epoch = self.epoch
+        kmax = machine._epochs_per_sample - (e0 % machine._epochs_per_sample)
+        cap = machine.config.max_epochs
+        if cap is not None and cap - e0 < kmax:
+            kmax = cap - e0
+        crash_time = math.inf
+        faults = machine.faults
+        if faults is not None:
+            # stall_rate > 0 routes to _horizon_classic before this point
+            next_crash = faults.next_crash_time()
+            if next_crash is not None:
+                crash_time = next_crash
+        if kmax <= 1:
+            return 1
+
+        fh = self._fh_const
+        if fh is None:
+            lat = machine.config.latency
+            params = machine.policy.params
+            fh = self._fh_const = (
+                # every LLC reference costs at least the cheaper of a
+                # hit and local DRAM; remote is local plus a premium
+                lat.llc_hit_ns
+                if lat.llc_hit_ns < lat.local_dram_ns
+                else lat.local_dram_ns,
+                machine._epochs_per_tick,
+                params.credits_per_tick,
+                params.credit_floor,
+                params.credit_cap,
+                params.ticks_per_acct,
+                params.slice_s,
+                bool(
+                    machine.policy.fused_repick_steals_none
+                    and params.cache_hot_s > 0.0
+                ),
+            )
+        (
+            floor_ns,
+            ept,
+            cpt,
+            cfloor,
+            ccap,
+            tpa,
+            slice_s,
+            repick_base,
+        ) = fh
+        speculative = self._speculative
+        running_pcpus = []
+        running_vcpus = []
+        idle = False
+        for pcpu in machine.pcpus:
+            cur = pcpu.current
+            if cur is None:
+                idle = True
+                continue
+            running_pcpus.append(pcpu)
+            running_vcpus.append(cur)
+            if speculative:
+                continue
+            w = cur.workload
+            total = w.profile.total_instructions
+            if total is not None:
+                key = cur.key
+                node = pcpu.node
+                rate_ub = self.node_clock[node] / (
+                    self.cpi_base[key]
+                    + self.rpi[key]
+                    * floor_ns
+                    * self.node_ns2c[node]
+                    / self.mlp[key]
+                )
+                floor = int((total - w.instructions_done) / (rate_ub * epoch)) - 1
+                if floor < kmax:
+                    kmax = floor
+        if kmax <= 1:
+            return 1
+        if idle:
+            # Same invariant guard as the classic sizing: an idle PCPU
+            # next to queued work means rescheduling every epoch.
+            for pcpu in machine.pcpus:
+                if pcpu.queue.head_rank() is not None:
+                    return 1
+
+        policy = machine.policy
+        k = len(running_vcpus)
+        wake = self.wake_heap[0][0] if self.wake_heap else math.inf
+        phase = self.phase_heap[0][0] if self.phase_heap else math.inf
+
+        # Armed run-burst chains: exact per-epoch `x -= epoch` replicas
+        # for every budget that could drain inside the window; budgets
+        # beyond (kmax + 1) epochs cannot reach zero in it.
+        arm_limit = (kmax + 1) * epoch
+        bursts = [
+            v.run_burst_remaining_s
+            for v in running_vcpus
+            if v.run_burst_remaining_s <= arm_limit
+        ]
+        nb = len(bursts)
+
+        # Tick-quiescence projection state.  slice_w lazily catches up
+        # to the current epoch (scalar adds, the same float ops the
+        # progress chain performs); credits_w replays the exact
+        # debit/refill arithmetic; queued VCPU credits move only at
+        # projected refills and are tracked on demand.
+        slice_w = [v.slice_used_s for v in running_vcpus]
+        synced = 0
+        credits_w = [v.credits for v in running_vcpus]
+        queued_credits: Dict[int, float] = {}
+        refill_active: Optional[list] = None
+        pos_of: Optional[Dict[int, int]] = None
+        total_weight = 0.0
+        supply = 0.0
+        tick_base = machine.tick_index
+        next_tick = ept - (e0 % ept)
+        repick_ok = repick_base and not idle
+        plan: list = []
+
+        kb = kmax
+        t = now
+        j = 0
+        while j < kb:
+            if j > 0:
+                if wake <= t or crash_time <= t or t >= limit - 1e-12:
+                    kb = j
+                    break
+                if j == next_tick:
+                    T = tick_base + len(plan)
+                    fusable = policy.tick_is_quiescent(T)
+                    repicks: Tuple[int, ...] = ()
+                    if fusable:
+                        # Projected debit (+BOOST clear) on running VCPUs:
+                        # value-identical to max(floor, c - debit).
+                        new_credits = []
+                        for c in credits_w:
+                            nc = c - cpt
+                            if nc < cfloor:
+                                nc = cfloor
+                            new_credits.append(nc)
+                        if T % tpa == 0:
+                            if refill_active is None:
+                                refill_active = [
+                                    v for v in machine.vcpus if v.runnable
+                                ]
+                                total_weight = sum(
+                                    v.domain.weight for v in refill_active
+                                )
+                                supply = cpt * tpa * len(machine.pcpus)
+                                pos_of = {
+                                    v.key: i
+                                    for i, v in enumerate(running_vcpus)
+                                }
+                            # Refill in machine order, value-identical to
+                            # min(cap, c + share).  The runnable set is
+                            # frozen inside a batch, so the active list,
+                            # weight sum and supply are loop-invariant.
+                            for v in refill_active:
+                                i = pos_of.get(v.key)
+                                if i is not None:
+                                    c = new_credits[i]
+                                else:
+                                    c = queued_credits.get(v.key, v.credits)
+                                share = supply * (
+                                    v.domain.weight / total_weight
+                                )
+                                nc = c + share
+                                if nc > ccap:
+                                    nc = ccap
+                                if i is not None:
+                                    new_credits[i] = nc
+                                elif not v.boosted and c < 0.0 <= nc:
+                                    # Queued OVER->UNDER flip: requeue
+                                    # reorders and may newly tickle.
+                                    fusable = False
+                                    break
+                                else:
+                                    queued_credits[v.key] = nc
+                    if fusable:
+                        gap = j - synced
+                        if gap:
+                            for i in range(k):
+                                x = slice_w[i]
+                                for _ in range(gap):
+                                    x = x + epoch
+                                slice_w[i] = x
+                            synced = j
+                        expire = []
+                        for i in range(k):
+                            rank = 1 if new_credits[i] >= 0.0 else 2
+                            head = running_pcpus[i].queue.head_rank()
+                            if head is not None and head < rank:
+                                # Queue head would tickle-preempt: a real
+                                # context switch, not a no-op boundary.
+                                fusable = False
+                                break
+                            if slice_w[i] >= slice_s - 1e-12:
+                                expire.append(i)
+                        if fusable and expire:
+                            if repick_ok and not any(
+                                p.queue for p in machine.pcpus
+                            ):
+                                repicks = tuple(expire)
+                            else:
+                                fusable = False
+                    if not fusable:
+                        kb = j
+                        break
+                    slice_proj = list(slice_w)
+                    for i in repicks:
+                        # switch-in resets the slice before this epoch's
+                        # progress add
+                        slice_w[i] = 0.0
+                    credits_w = new_credits
+                    plan.append((j, t, slice_proj, repicks))
+                    next_tick += ept
+            t_next = t + epoch
+            if phase <= t_next:
+                kb = j + 1
+                break
+            expired = False
+            for bi in range(nb):
+                x = bursts[bi] - epoch
+                bursts[bi] = x
+                if x <= 0.0:
+                    expired = True
+            if expired:
+                kb = j + 1
+                break
+            t = t_next
+            j += 1
+
+        if kb <= 1:
+            return 1
+        if plan:
+            # Every entry precedes the final cut by construction (breaks
+            # set kb to the current epoch or one past it, and entries are
+            # appended strictly before either).
+            self._fuse_plan = plan
+        return kb
+
     # ------------------------------------------------------------------
     # Batched advance
     # ------------------------------------------------------------------
@@ -1030,34 +1441,25 @@ class BatchedEngine(VectorEngine):
         machine = self.machine
         profiler = machine.profiler
         policy = machine.policy
+        plan = self._fuse_plan
+        self._fuse_plan = None
+        self._batch_calls += 1
 
-        if kb <= self._REPLAY_MAX:
-            # Short horizon: replay the per-epoch path directly.  Each
-            # interior epoch runs the (no-op) idle-PCPU steal attempts
-            # the reference's scheduling pass would make, then the
-            # inherited singleton advance — the same calls in the same
-            # order, so equality is by construction rather than by
-            # kernel proof.
-            t = now
-            for j in range(kb):
-                if j > 0:
-                    for pcpu in machine.pcpus:
-                        if pcpu.current is None:
-                            t0 = profiler.start()
-                            policy.steal(pcpu, t, under_only=False)
-                            profiler.stop("balance", t0)
-                self.advance_running(t, epoch)
-                t = t + epoch
-            return t
+        if kb <= self._REPLAY_MAX and (
+            plan or self._speculative or not self.two_node
+        ):
+            # Short horizon with fused ticks, speculation, or an exotic
+            # topology: replay through the full per-epoch path.
+            return self._advance_replay(now, epoch, kb, plan)
 
-        # Epoch-boundary times: exactly the `end = now + epoch` chain the
-        # singleton stepper would accumulate.
-        times = [now]
+        # Batch end time: exactly the `end = now + epoch` chain the
+        # singleton stepper would accumulate (the full per-epoch list is
+        # only materialised on the paths that replay interior epochs).
         t = now
         for _ in range(kb):
             t = t + epoch
-            times.append(t)
-        end_batch = times[-1]
+        end_batch = t
+        times: Optional[List[float]] = None
 
         running_pcpus = []
         running_vcpus = []
@@ -1075,96 +1477,117 @@ class BatchedEngine(VectorEngine):
                 idle_pcpus.append(pcpu)
         k = len(running_vcpus)
 
-        # Interior scheduling passes: running PCPUs are untouched (their
-        # VCPU stays runnable all batch), but each idle PCPU makes one
-        # steal attempt per epoch.  With every queue empty those calls
-        # cannot succeed or mutate queues — they exist to keep the
-        # scheduler's RNG draw sequence (e.g. credit.steal's
-        # permutation) aligned with the reference, epoch by epoch.
-        if idle_pcpus:
-            for j in range(1, kb):
-                tj = times[j]
+        if k == 0 and kb <= self._REPLAY_MAX:
+            return self._advance_replay(now, epoch, kb, plan)
+
+        if k == 0:
+            # Nothing ran.  Fused ticks still advance tick_index (with
+            # every queue empty the real call touches no credits), the
+            # idle PCPUs replay their per-epoch steal attempts, and
+            # warmth decays epoch by epoch on every LLC.
+            if plan:
+                t0 = profiler.start()
+                for ft in plan:
+                    machine._run_tick(ft[1])
+                profiler.stop("tick_fuse", t0)
+                self._fused_tick_total += len(plan)
+            t = now
+            for _ in range(1, kb):
+                t = t + epoch
+                tj = t
                 for pcpu in idle_pcpus:
                     t0 = profiler.start()
                     policy.steal(pcpu, tj, under_only=False)
                     profiler.stop("balance", t0)
-
-        if k == 0:
-            # Nothing ran: warmth decays epoch by epoch on every LLC.
             for _ in range(kb):
                 for advance in self._cache_advance:
                     advance(epoch, (), ())
             return end_batch
 
         kg = self.key_gen
-        sig = (
-            tuple(sig_keys),
-            tuple(sig_pids),
-            tuple(kg[key] for key in sig_keys),
-        )
+        sig_kp = (tuple(sig_keys), tuple(sig_pids))
+        gens = tuple(kg[key] for key in sig_keys)
+        sig = (sig_kp, gens)
         if sig != self._gather_sig:
             cache = self._gather_cache
-            gather = cache.get(sig)
-            if gather is None:
+            entry = cache.get(sig_kp)
+            if entry is None or entry[0] != gens:
                 gather = _Gather(self, running_pcpus, running_vcpus, k)
                 machine.profiler.count("gather_build")
                 if len(cache) >= 1024:
                     cache.clear()
-                cache[sig] = gather
+                cache[sig_kp] = (gens, gather)
+            else:
+                gather = entry[1]
             self._gather = gather
             self._gather_sig = sig
         else:
             gather = self._gather
+
+        if kb <= self._REPLAY_MAX:
+            # Short horizon, event-free interior: the fused scalar
+            # replay runs the exact per-epoch arithmetic with the
+            # running-set scan, gather lookup and all state commits
+            # hoisted out of the epoch loop.  Idle PCPUs (per-epoch
+            # steal attempts) and non-default contention depths take
+            # the generic replay.
+            if idle_pcpus or machine.config.contention_iterations != 2:
+                return self._advance_replay(now, epoch, kb, plan)
+            return self._advance_replay_fused(
+                end_batch, epoch, kb, gather, running_pcpus,
+                running_vcpus, k
+            )
+
+        # The kernel path replays interior-epoch times (fused-tick and
+        # idle-steal boundaries), so materialise the full chain here.
+        times = [now]
+        t = now
+        for _ in range(kb):
+            t = t + epoch
+            times.append(t)
+
         inv = gather.binv
         if inv is None:
             inv = _BatchInvariants(self, gather, running_vcpus)
             gather.binv = inv
 
         # --- Warmth + drift trajectories -------------------------------
-        # W[t, i] is VCPU i's warmth entering batch epoch t: the
+        # X[t] packs the whole per-epoch state [warmth | row-0 | row-1]:
+        # W[t, i] is VCPU i's warmth entering batch epoch t (the
         # reference reads warmth *before* each epoch's end-of-epoch
-        # charge, so row t uses t charge applications.  RR packs both
-        # placement-row components as [node-0 cols | node-1 cols];
-        # independently-owned rows evolve with one fused linear update.
-        # Both recurrences share one loop over the epoch axis.
+        # charge, so row t uses t charge applications) and the row
+        # halves hold each VCPU's placement-row components.  One nested
+        # affine update — x' = o1 + o2*(i1 + i2*x), constants built in
+        # _BatchInvariants with a bitwise-identity proof per block —
+        # advances everything with four ufunc calls per epoch.
         warmth_tables = self._warmth_tables
-        warm = np.empty(k)
+        k2 = 2 * k
+        k3 = 3 * k
+        X = np.empty((kb + 1, k3))
+        x0 = X[0]
         for node_id, members in enumerate(gather.node_members):
             if members:
                 table = warmth_tables[node_id]
-                warm[inv.node_pos_arr[node_id]] = [
+                x0[inv.node_pos_arr[node_id]] = [
                     table.get(key, 0.0) for key in members
                 ]
         row_src = gather.mix_row_src
-        rr = np.array(
-            [row[0] for row in row_src] + [row[1] for row in row_src]
-        )
-        W = np.empty((kb + 1, k))
-        RR = np.empty((kb + 1, 2 * k))
-        cf = inv.cf
-        wtmp = np.empty(k)
-        # In-place recurrences (subtract/multiply with out=) are the
-        # same ufunc applications as the expression forms, per element.
-        W[0] = warm
-        if inv.indep_drift:
-            keep2 = inv.keep2
-            add2 = inv.add2
-            rtmp = np.empty(2 * k)
-            RR[0] = rr
-            for tt in range(kb):
-                np.subtract(1.0, W[tt], out=wtmp)
-                np.multiply(wtmp, cf, out=wtmp)
-                np.subtract(1.0, wtmp, out=W[tt + 1])
-                np.multiply(RR[tt], keep2, out=rtmp)
-                np.add(rtmp, add2, out=RR[tt + 1])
-        else:
-            RR[:] = rr
-            for tt in range(kb):
-                np.subtract(1.0, W[tt], out=wtmp)
-                np.multiply(wtmp, cf, out=wtmp)
-                np.subtract(1.0, wtmp, out=W[tt + 1])
-        warm = W[kb]
-        W = W[:kb]
+        x0[k:k2] = [row[0] for row in row_src]
+        x0[k2:] = [row[1] for row in row_src]
+        o1 = inv.aff_o1
+        o2 = inv.aff_o2
+        i1 = inv.aff_i1
+        i2 = inv.aff_i2
+        tmp = np.empty(k3)
+        # In-place updates (ufuncs with out=) are the same ufunc
+        # applications as the expression forms, per element.
+        for tt in range(kb):
+            np.multiply(i2, X[tt], out=tmp)
+            np.add(i1, tmp, out=tmp)
+            np.multiply(o2, tmp, out=tmp)
+            np.add(o1, tmp, out=X[tt + 1])
+        W = X[:kb, :k]
+        RR = X[:, k:]
         F = inv.share * W
         for pos in inv.ws_bad:
             F[:, pos] = 1.0
@@ -1217,12 +1640,14 @@ class BatchedEngine(VectorEngine):
         O1 = OO[:, k:]
         over_chains = []
         DR = None
-        for over, idxs, placement, num_slices, has_drift, ovr in inv.dom_groups:
+        for over, idxs, idxs_k, placement, num_slices, has_drift, ovr in (
+            inv.dom_groups
+        ):
             if not has_drift:
                 O0[:, idxs] = over[0]
                 O1[:, idxs] = over[1]
                 continue
-            m = len(idxs)
+            m = idxs.size
             # Per-epoch, per-member `overall += (new - old) / num_slices`
             # increments, flattened epoch-major in running order — the
             # exact sequence of adds the reference's progress pass makes
@@ -1234,7 +1659,7 @@ class BatchedEngine(VectorEngine):
             if DR is None:
                 DR = RR[1:] - RR[:-1]
             D0 = DR[:, idxs] / num_slices
-            D1 = DR[:, [i + k for i in idxs]] / num_slices
+            D1 = DR[:, idxs_k] / num_slices
             for p, gi, ui in ovr:
                 if ui < 0:
                     D0[:, p] = 0.0
@@ -1248,10 +1673,13 @@ class BatchedEngine(VectorEngine):
             chains[0, 1:] = D0.ravel()
             chains[1, 0] = over[1]
             chains[1, 1:] = D1.ravel()
-            ch = np.cumsum(chains, axis=1)
+            ch = chains.cumsum(axis=1)
             O0[:, idxs] = ch[0, ::m][:kb, None]
             O1[:, idxs] = ch[1, ::m][:kb, None]
-            over_chains.append((over, placement, ch[0, -1], ch[1, -1]))
+            # The full cumsum is kept (not just its last element): a
+            # speculative truncation commits the chain state after the
+            # shortened batch, a prefix of the same array.
+            over_chains.append((over, placement, ch, m))
 
         mm = inv.conc2 * RR[:kb] + inv.anti2 * OO
         s = mm[:, :k] + mm[:, k:]
@@ -1278,75 +1706,248 @@ class BatchedEngine(VectorEngine):
         per_ref_ns = base_ref + M * penalty
         rates = inv.clock / (inv.cpi + rpi * per_ref_ns * inv.ns2c / inv.mlp)
 
+        # --- Speculative validation ------------------------------------
+        # With the completion floor waived, find the earliest epoch at
+        # which an *optimistic* seeded budget chain (rates * epoch — the
+        # real per-epoch budget never exceeds it, and float adds are
+        # monotone) could cross a finite-work total, and truncate the
+        # batch there before anything is committed.  The real crossing
+        # lands at or after the optimistic one, so the shortened batch's
+        # interior epochs stay clamp-free and only the final epoch needs
+        # the reference's remaining-work clamp (applied below).
+        if self._speculative:
+            self._spec_attempts += 1
+            t0s = profiler.start()
+            totals = gather.totals
+            cut = kb
+            col = np.empty(kb + 1)
+            for i in range(k):
+                total = totals[i]
+                if total is None:
+                    continue
+                col[0] = running_vcpus[i].workload.instructions_done
+                np.multiply(rates[:, i], epoch, out=col[1:])
+                crossed = np.nonzero(col.cumsum()[1:] >= total)[0]
+                if crossed.size:
+                    c = int(crossed[0]) + 1
+                    if c < cut:
+                        cut = c
+            profiler.stop("speculate", t0s)
+            if cut < kb:
+                t0r = profiler.start()
+                self._spec_misses += 1
+                kb = cut
+                end_batch = times[kb]
+                if plan:
+                    plan = [ft for ft in plan if ft[0] < kb]
+                profiler.stop("rollback", t0r)
+                if kb <= self._REPLAY_MAX:
+                    # Below kernel break-even: nothing was committed, so
+                    # fall back to singleton replay of the short batch.
+                    return self._advance_replay(now, epoch, kb, plan)
+                rates = rates[:kb]
+                M = M[:kb]
+                mix0 = mix0[:kb]
+                mix1 = mix1[:kb]
+
+        # --- Fused-boundary commit -------------------------------------
+        # Seeds for the progress chains and the overhead walk are read
+        # *before* the boundary calls mutate live state.
+        slice_seed = [v.slice_used_s for v in running_vcpus]
+        init_pending = [p.overhead_pending_s for p in running_pcpus]
+        pend_events: list = []
+        repick_reset: Dict[int, int] = {}
+        if plan:
+            # Commit each fused tick with the *real* calls — on_tick,
+            # refresh charges, and (for re-picks) the scheduling pass —
+            # so debit/refill arithmetic, preemption bookkeeping and RNG
+            # draws replay exactly.  slice_used is pre-set to its
+            # projected chain value so the expiry check fires on the
+            # same floats the singleton path would see; the packed chain
+            # below overwrites the finals from the captured seeds.
+            # Hypervisor charges are intercepted (machine.charge_overhead
+            # is shadowed for the duration) so the overhead walk can
+            # replay the exact add/drain interleaving.
+            t0f = profiler.start()
+            col_of = {p.pcpu_id: i for i, p in enumerate(running_pcpus)}
+            cur_j = 0
+            real_charge = machine.charge_overhead
+
+            def _recording_charge(source, pcpu, seconds):
+                real_charge(source, pcpu, seconds)
+                if seconds > 0.0:
+                    ci = col_of.get(pcpu.pcpu_id)
+                    if ci is not None:
+                        pend_events.append((ci, cur_j, seconds))
+
+            machine.charge_overhead = _recording_charge
+            try:
+                for ft in plan:
+                    cur_j = ft[0]
+                    proj = ft[2]
+                    for i in range(k):
+                        running_vcpus[i].slice_used_s = proj[i]
+                    machine._run_tick(ft[1])
+                    repicks = ft[3]
+                    if repicks:
+                        machine._schedule_pass(ft[1])
+                        for i in repicks:
+                            if running_pcpus[i].current is not running_vcpus[i]:
+                                raise AssertionError(
+                                    "fused slice expiry re-picked a "
+                                    "different VCPU"
+                                )
+                            repick_reset[i] = cur_j
+                    for pcpu in running_pcpus:
+                        if pcpu.current is None:
+                            raise AssertionError(
+                                "fused tick preempted outside the plan"
+                            )
+            finally:
+                del machine.charge_overhead
+            self._fused_tick_total += len(plan)
+            self._repick_total += sum(len(ft[3]) for ft in plan)
+            profiler.stop("tick_fuse", t0f)
+
+        # Interior scheduling passes: running PCPUs are untouched (their
+        # VCPU stays runnable all batch), but each idle PCPU makes one
+        # steal attempt per epoch.  With every queue empty those calls
+        # cannot succeed or mutate queues — they exist to keep the
+        # scheduler's RNG draw sequence (e.g. credit.steal's
+        # permutation) aligned with the reference, epoch by epoch.
+        # (Idle PCPUs and fused re-picks are mutually exclusive, and
+        # quiescent ticks draw nothing, so committing the plan first
+        # leaves every RNG stream's draw order identical.)
+        if idle_pcpus:
+            for j in range(1, kb):
+                tj = times[j]
+                for pcpu in idle_pcpus:
+                    t0 = profiler.start()
+                    policy.steal(pcpu, tj, under_only=False)
+                    profiler.stop("balance", t0)
+
         # --- Progress pass 1: compute budgets and busy time ------------
         # Pending hypervisor overhead is rare inside a batch; the common
         # case multiplies by the scalar epoch (bitwise identical to a
-        # full matrix of epochs).
+        # full matrix of epochs).  Fused refresh/switch charges are
+        # replayed as adds at their exact epoch, interleaved with the
+        # per-epoch drain in reference order (charge phases precede the
+        # progress drain within an epoch).
         compute = None
+        ev_by_col: Optional[Dict[int, list]] = None
+        if pend_events:
+            ev_by_col = {}
+            for ci, ej, cost in pend_events:
+                ev_by_col.setdefault(ci, []).append((ej, cost))
         for i in range(k):
-            pcpu = running_pcpus[i]
-            pending = pcpu.overhead_pending_s
-            if pending > 0.0:
-                if compute is None:
-                    compute = np.full((kb, k), epoch)
-                col = compute[:, i]
-                for tt in range(kb):
-                    if pending <= 0.0:
-                        break
+            pending = init_pending[i]
+            evs = ev_by_col.get(i) if ev_by_col else None
+            if pending <= 0.0 and not evs:
+                continue
+            if compute is None:
+                compute = np.full((kb, k), epoch)
+            col = compute[:, i]
+            ei = 0
+            ne = len(evs) if evs else 0
+            tt = 0
+            while tt < kb:
+                while ei < ne and evs[ei][0] == tt:
+                    pending = pending + evs[ei][1]
+                    ei += 1
+                if pending > 0.0:
                     used = pending if pending < epoch else epoch
                     pending = pending - used
                     col[tt] = epoch - used
-                pcpu.overhead_pending_s = pending
+                    tt += 1
+                elif ei < ne:
+                    tt = evs[ei][0]
+                else:
+                    break
+            running_pcpus[i].overhead_pending_s = pending
 
         # The horizon's one-epoch margin guarantees the reference's
         # remaining-work clamp never binds inside the batch.
         done = rates * epoch if compute is None else rates * compute
+        if self._speculative:
+            # Exact-final clamp: replay the reference's remaining-work
+            # clamp on the batch-final epoch for any finite column that
+            # crosses there.  Interior rows cannot cross — the
+            # validation cut the batch at the earliest optimistic
+            # crossing and real budgets never exceed the optimistic.
+            totals = gather.totals
+            ccol = np.empty(kb + 1)
+            for i in range(k):
+                total = totals[i]
+                if total is None:
+                    continue
+                dcol = done[:, i]
+                ccol[0] = running_vcpus[i].workload.instructions_done
+                ccol[1:] = dcol
+                entry = float(ccol.cumsum()[kb - 1])
+                remaining = total - entry
+                if remaining < 0.0:
+                    remaining = 0.0
+                if remaining < float(dcol[kb - 1]):
+                    dcol[kb - 1] = remaining
         refs = done * rpi
         misses = refs * M
 
-        # --- PMU charges -----------------------------------------------
+        # --- PMU charges + progress chains -----------------------------
+        # One seeded cumsum covers every per-column accumulator chain:
+        # busy time, instructions, slice usage, burst budget, plus the
+        # seven PMU blocks (instructions, refs, misses, local, remote,
+        # node-0, node-1 — seeded and committed by the PMU's packed-
+        # chain halves).  Columns are independent, so packing them side
+        # by side is bitwise neutral, `x - epoch == x + (-epoch)`
+        # exactly, and the local/remote split reuses the scalar path's
+        # expressions elementwise.
         acc0 = misses * mix0
         acc1 = misses * mix1
-        machine.pmu.charge_epoch_batch(
-            gather.keys,
-            done,
-            refs,
-            misses,
-            acc0,
-            acc1,
-            node_of,
-            gather.pmu_rows,
-            local_mask=mask0,
-        )
-
-        # --- Progress passes: busy time, retired work, drift commit ----
-        # One seeded cumsum covers every per-column accumulator chain
-        # (busy time, instructions, slice usage, burst budget): columns
-        # are independent, so packing them side by side is bitwise
-        # neutral, and `x - epoch == x + (-epoch)` exactly.
-        chain = np.empty((kb + 1, 4 * k))
-        chain[0, :k] = [p.busy_time_s for p in running_pcpus]
-        chain[0, k : 2 * k] = [
+        local = np.where(mask0, acc0, acc1)
+        pmu = machine.pmu
+        k4 = 4 * k
+        chain = np.empty((kb + 1, k4 + 7 * k))
+        c0 = chain[0]
+        c0[:k] = [p.busy_time_s for p in running_pcpus]
+        c0[k : 2 * k] = [
             v.workload.instructions_done for v in running_vcpus
         ]
-        chain[0, 2 * k : 3 * k] = [v.slice_used_s for v in running_vcpus]
-        chain[0, 3 * k :] = [v.run_burst_remaining_s for v in running_vcpus]
+        c0[2 * k : 3 * k] = slice_seed
+        c0[3 * k : k4] = [v.run_burst_remaining_s for v in running_vcpus]
+        pmu.batch_seed_into(gather.pmu_banks, gather.pmu_rows, c0[k4:])
         body = chain[1:]
         body[:, :k] = epoch
         body[:, k : 2 * k] = done
         body[:, 2 * k : 3 * k] = epoch
-        body[:, 3 * k :] = -epoch
-        final = np.cumsum(chain, axis=0)[-1].tolist()
+        body[:, 3 * k : k4] = -epoch
+        body[:, k4 : 5 * k] = done
+        body[:, 5 * k : 6 * k] = refs
+        body[:, 6 * k : 7 * k] = misses
+        body[:, 7 * k : 8 * k] = local
+        body[:, 8 * k : 9 * k] = (acc0 + acc1) - local
+        body[:, 9 * k : 10 * k] = acc0
+        body[:, 10 * k :] = acc1
+        tot = chain.cumsum(axis=0)[-1]
+        pmu.batch_commit(gather.pmu_banks, gather.pmu_rows, tot[k4:])
+        final = tot[:k4].tolist()
         for i in range(k):
             running_pcpus[i].busy_time_s = final[i]
             vcpu = running_vcpus[i]
             vcpu.workload.instructions_done = final[k + i]
             vcpu.slice_used_s = final[2 * k + i]
             vcpu.run_burst_remaining_s = final[3 * k + i]
+        for i, jr in repick_reset.items():
+            # A fused re-pick reset the slice at epoch jr; the final is
+            # the same scalar add chain the singleton path accumulates
+            # from that reset.
+            x = 0.0
+            for _ in range(kb - jr):
+                x = x + epoch
+            running_vcpus[i].slice_used_s = x
         machine_busy = np.empty(kb * k + 1)
         machine_busy[0] = machine.busy_time_s
         machine_busy[1:] = epoch
-        machine.busy_time_s = float(np.cumsum(machine_busy)[-1])
+        machine.busy_time_s = float(machine_busy.cumsum()[-1])
 
         if inv.indep_drift or inv.alias_groups:
             drift = gather.drift
@@ -1357,9 +1958,9 @@ class BatchedEngine(VectorEngine):
                     row = row_src[i]
                     row[0] = r0_final[i]
                     row[1] = r1_final[i]
-            for over, placement, o0, o1 in over_chains:
-                over[0] = float(o0)
-                over[1] = float(o1)
+            for over, placement, ch, m in over_chains:
+                over[0] = float(ch[0, kb * m])
+                over[1] = float(ch[1, kb * m])
                 placement._np_stale = True
 
         # --- Batch-final transitions -----------------------------------
@@ -1392,6 +1993,7 @@ class BatchedEngine(VectorEngine):
                 policy.on_context_switch(pcpu, vcpu, None)
 
         # --- LLC warmth commit -----------------------------------------
+        warm = X[kb, :k]
         for node_id, members in enumerate(gather.node_members):
             pos = inv.node_pos_arr[node_id]
             self._cache_advance_batch[node_id](
@@ -1402,3 +2004,523 @@ class BatchedEngine(VectorEngine):
                 gather.node_member_sets[node_id],
             )
         return end_batch
+
+    def _advance_replay(
+        self, now: float, epoch: float, kb: int, plan: Optional[list]
+    ) -> float:
+        """Short horizon: replay the per-epoch path directly.
+
+        Each interior epoch runs the (no-op) idle-PCPU steal attempts
+        the reference's scheduling pass would make — or, at a fused tick
+        boundary, the *real* tick plus a full scheduling pass — then the
+        inherited singleton advance.  The same calls in the same order,
+        so equality is by construction rather than by kernel proof;
+        per-epoch live state makes slice projections unnecessary.
+        """
+        machine = self.machine
+        profiler = machine.profiler
+        policy = machine.policy
+        ticks = {ft[0]: ft for ft in plan} if plan else None
+        t = now
+        for j in range(kb):
+            if j > 0:
+                ft = ticks.get(j) if ticks else None
+                if ft is not None:
+                    t0 = profiler.start()
+                    machine._run_tick(t)
+                    machine._schedule_pass(t)
+                    profiler.stop("tick_fuse", t0)
+                    self._fused_tick_total += 1
+                    self._repick_total += len(ft[3])
+                else:
+                    for pcpu in machine.pcpus:
+                        if pcpu.current is None:
+                            t0 = profiler.start()
+                            policy.steal(pcpu, t, under_only=False)
+                            profiler.stop("balance", t0)
+            self.advance_running(t, epoch)
+            t = t + epoch
+        return t
+
+    def _build_fused_plan(
+        self, gather: _Gather, running_vcpus: List[Vcpu], k: int
+    ) -> tuple:
+        """Assignment-static structures for :meth:`_advance_replay_fused`.
+
+        Everything here depends only on the (keys, pcpus, generations)
+        signature the gather is memoised under, so it is built once and
+        cached on ``gather.fused``; per batch only the warmth lists and
+        the placement mirrors are reseeded from live state.  Returns
+        ``(flat_plan, flat_charge, row_a, row_b, miss, mix_rows,
+        reseed_w, row_pairs, over_pairs, rloc, oloc, w_by_node,
+        scalars)``:
+
+        * ``flat_plan`` — per-member miss-curve tuples ``(w_l, j, pos,
+          share, minmr, span, shape, bad)`` in node-then-member order;
+          ``share`` is the same precomputed ``min(1.0, alloc / ws)``
+          the per-epoch path multiplies in, ``bad`` flags ``ws <= 0``.
+        * ``flat_charge`` — ``(w_l, j, charge_factor)`` warmth-charge
+          tuples in the same order.
+        * ``row_a`` / ``row_b`` — zipped per-VCPU constant tuples for
+          the two epoch passes (one ``UNPACK_SEQUENCE`` per iteration
+          instead of a pile of list subscripts).
+        * ``miss`` / ``mix_rows`` — scratch lists fully overwritten
+          each epoch.
+        * ``reseed_w`` — ``(warmth_table, members, w_l)`` per node.
+        * ``row_pairs`` / ``over_pairs`` — distinct ``(live, mirror)``
+          list pairs; aliased readers share one mirror so intra-epoch
+          interleavings replay exactly.
+        * ``w_by_node`` — node id → warmth list for the final commit.
+        * ``scalars`` — hoisted latency/topology constants for the
+          inlined dual-socket solve.
+        """
+        reseed_w = []
+        w_by_node: Dict[int, list] = {}
+        flat_plan = []
+        flat_charge = []
+        for node_id, members in enumerate(gather.node_members):
+            if not members:
+                continue
+            positions = gather.node_positions[node_id]
+            w_l = [0.0] * len(members)
+            reseed_w.append((self._warmth_tables[node_id], members, w_l))
+            w_by_node[node_id] = w_l
+            for j, (share, minmr, span, shape, bad) in enumerate(
+                gather.node_miss_tuples[node_id]
+            ):
+                flat_plan.append(
+                    (w_l, j, positions[j], share, minmr, span, shape, bad)
+                )
+            for j, cf in enumerate(gather.node_charge[node_id]):
+                flat_charge.append((w_l, j, cf))
+
+        row_src = gather.mix_row_src
+        over_src = gather.mix_over_src
+        rloc_by_id: Dict[int, list] = {}
+        oloc_by_id: Dict[int, list] = {}
+        rloc: list = [None] * k
+        oloc: list = [None] * k
+        ns_l = [0] * k
+        row_pairs = []
+        over_pairs = []
+        for i in range(k):
+            row = row_src[i]
+            loc = rloc_by_id.get(id(row))
+            if loc is None:
+                loc = [0.0, 0.0]
+                rloc_by_id[id(row)] = loc
+                row_pairs.append((row, loc))
+            rloc[i] = loc
+            over = over_src[i]
+            loc = oloc_by_id.get(id(over))
+            if loc is None:
+                loc = [0.0, 0.0]
+                oloc_by_id[id(over)] = loc
+                over_pairs.append((over, loc))
+            oloc[i] = loc
+            ns_l[i] = running_vcpus[i].domain.placement.num_slices
+
+        node_of = gather.node_of
+        miss = [0.0] * k
+        mix_rows = [[0.0, 0.0] for _ in range(k)]
+        node0_l = [node_of[i] == 0 for i in range(k)]
+        # One merged per-VCPU tuple list serves both epoch passes: a
+        # single UNPACK_SEQUENCE per iteration replaces a pile of list
+        # subscripts, and one zip build (horizons are short, p50 ~3, so
+        # build cost matters more than unpack width).
+        rows = list(
+            zip(
+                gather.conc_l,
+                gather.anti_l,
+                rloc,
+                oloc,
+                gather.rpi,
+                gather.cpi_base,
+                gather.mlp,
+                gather.clock,
+                gather.ns2c,
+                mix_rows,
+                node0_l,
+                gather.totals,
+                gather.drift,
+                ns_l,
+            )
+        )
+
+        scalars = self._fused_scalars
+        if scalars is None:
+            machine = self.machine
+            lat = machine.config.latency
+            memsys = machine.memsys
+            mnodes = memsys.topology.nodes
+            cap = 8.0
+            scalars = self._fused_scalars = (
+                lat.llc_hit_ns,
+                lat.local_dram_ns,
+                mnodes[0].imc_bandwidth,
+                mnodes[1].imc_bandwidth,
+                memsys.topology.qpi_bandwidth,
+                memsys.latency.local_dram_ns,
+                memsys.latency.remote_extra_ns,
+                cap,
+                1.0 - 1.0 / cap,
+                BYTES_PER_MISS,
+            )
+        return (
+            flat_plan,
+            flat_charge,
+            rows,
+            miss,
+            mix_rows,
+            reseed_w,
+            row_pairs,
+            over_pairs,
+            rloc,
+            oloc,
+            w_by_node,
+            scalars,
+        )
+
+    def _advance_replay_fused(
+        self,
+        end_batch: float,
+        epoch: float,
+        kb: int,
+        gather: _Gather,
+        running_pcpus: list,
+        running_vcpus: List[Vcpu],
+        k: int,
+    ) -> float:
+        """Short event-free horizon: scalar replay with hoisted state.
+
+        Runs :meth:`advance_running`'s exact arithmetic — same Python-
+        float expressions, same accumulation order — for ``kb`` epochs,
+        but performs the running-set scan, gather lookup, warmth/PMU/
+        placement reads and every state commit once per batch instead
+        of once per epoch.  All accumulator chains (busy time, PMU
+        banks, placement drift, page-mix rows, the shared `overall`
+        vectors) evolve on Python locals seeded from live state; the
+        finals are written back after the last epoch, which is bitwise
+        neutral because nothing else reads them mid-batch (the caller
+        guarantees no fused tick, no idle PCPU, no speculation and an
+        event-free interior).  Dual-socket only.
+        """
+        machine = self.machine
+
+        # --- Assignment-static plan, cached on the gather --------------
+        plan = gather.fused
+        if plan is None:
+            plan = gather.fused = self._build_fused_plan(
+                gather, running_vcpus, k
+            )
+        (
+            flat_plan,
+            flat_charge,
+            rows,
+            miss,
+            mix_rows,
+            reseed_w,
+            row_pairs,
+            over_pairs,
+            rloc,
+            oloc,
+            w_by_node,
+            scalars,
+        ) = plan
+        (
+            hit_ns,
+            local_dram,
+            bw0,
+            bw1,
+            qpi_bw,
+            s_dram,
+            s_remote,
+            cap,
+            knee,
+            bpm,
+        ) = scalars
+        drift = gather.drift
+        totals = gather.totals
+        row_src = gather.mix_row_src
+        over_src = gather.mix_over_src
+
+        # Reseed the state-dependent inputs: member warmth from the live
+        # tables, placement-row / `overall` mirrors from the live lists
+        # (aliased readers share one mirror, so intra-epoch
+        # interleavings replay exactly).
+        for table, members, w_l in reseed_w:
+            for j, key in enumerate(members):
+                w_l[j] = table.get(key, 0.0)
+        for src, loc in row_pairs:
+            loc[0] = src[0]
+            loc[1] = src[1]
+        for src, loc in over_pairs:
+            loc[0] = src[0]
+            loc[1] = src[1]
+
+        # Accumulator seeds (live values in, finals out).
+        pend_l = [p.overhead_pending_s for p in running_pcpus]
+        busy_l = [p.busy_time_s for p in running_pcpus]
+        mbusy = machine.busy_time_s
+        id_l = [v.workload.instructions_done for v in running_vcpus]
+        slice_l = [v.slice_used_s for v in running_vcpus]
+        burst_l = [v.run_burst_remaining_s for v in running_vcpus]
+        pmu = machine.pmu
+        banks = gather.pmu_banks
+        rows_arr = gather.pmu_rows
+        matrix = pmu._node_matrix
+        bi_l = [b.instructions for b in banks]
+        br_l = [b.llc_refs for b in banks]
+        bm_l = [b.llc_misses for b in banks]
+        bl_l = [b.local_accesses for b in banks]
+        bx_l = [b.remote_accesses for b in banks]
+        m0_l = [float(matrix[r, 0]) for r in rows_arr.tolist()]
+        m1_l = [float(matrix[r, 1]) for r in rows_arr.tolist()]
+
+        # --- Per-epoch replay ------------------------------------------
+        # Each epoch preserves the reference phase order: miss curves,
+        # then page mix + first contention round (rates feed traffic,
+        # traffic feeds the inlined dual-socket solve), then penalties +
+        # final rates + progress/PMU/drift, then warmth charge.  Merging
+        # the per-i loops is bitwise neutral because no merged statement
+        # reads another VCPU's output from the same pass; every
+        # cross-VCPU accumulator (imc/qpi flows, machine busy time)
+        # still folds in ascending VCPU order.
+        for _tt in range(kb):
+            for w_l, j, pos, share, minmr, span, shape, bad in flat_plan:
+                f = 1.0 if bad else share * w_l[j]
+                missing = 1.0 - f if shape == 1.0 else (1.0 - f) ** shape
+                miss[pos] = minmr + span * missing
+
+            imc0 = 0.0
+            imc1 = 0.0
+            qpi_t = 0.0
+            i = 0
+            for (
+                c, a, row, over, rp, cb, ml, ck, n2, mrow, nd0, _t, _d, _n
+            ) in rows:
+                m0 = c * row[0] + a * over[0]
+                m1 = c * row[1] + a * over[1]
+                s = m0 + m1
+                x0 = m0 / s
+                x1 = m1 / s
+                mrow[0] = x0
+                mrow[1] = x1
+                mr = miss[i]
+                i += 1
+                per_ref_ns = (1.0 - mr) * hit_ns + mr * local_dram
+                stall = rp * per_ref_ns * n2 / ml
+                rate = ck / (cb + stall)
+                t = rate * rp * mr * bpm
+                flow0 = t * x0
+                flow1 = t * x1
+                imc0 += flow0
+                imc1 += flow1
+                if nd0:
+                    qpi_t += flow1
+                else:
+                    qpi_t += flow0
+
+            rho0 = imc0 / bw0
+            rho1 = imc1 / bw1
+            factor0 = cap if rho0 >= knee else 1.0 / (1.0 - rho0)
+            factor1 = cap if rho1 >= knee else 1.0 / (1.0 - rho1)
+            qpi_rho = qpi_t / qpi_bw
+            qpi_factor = cap if qpi_rho >= knee else 1.0 / (1.0 - qpi_rho)
+            dram0 = s_dram * factor0
+            dram1 = s_dram * factor1
+            remote_add = s_remote * qpi_factor
+
+            i = 0
+            for (
+                _c, _a, row, over, rp, cb, ml, ck, n2, mrow, nd0, total,
+                d, nsl,
+            ) in rows:
+                penalty = 0.0
+                frac = mrow[0]
+                if frac > 0:
+                    penalty += (
+                        frac * dram0 if nd0 else frac * (dram0 + remote_add)
+                    )
+                frac = mrow[1]
+                if frac > 0:
+                    penalty += (
+                        frac * (dram1 + remote_add) if nd0 else frac * dram1
+                    )
+                mr = miss[i]
+                per_ref_ns = (1.0 - mr) * hit_ns + mr * penalty
+                stall = rp * per_ref_ns * n2 / ml
+                rate = ck / (cb + stall)
+
+                pending = pend_l[i]
+                if pending > 0.0:
+                    used = pending if pending < epoch else epoch
+                    pend_l[i] = pending - used
+                    compute = epoch - used
+                else:
+                    compute = epoch
+                busy_l[i] += epoch
+                mbusy += epoch
+                done = rate * compute
+                if total is not None:
+                    remaining = total - id_l[i]
+                    if remaining < 0.0:
+                        remaining = 0.0
+                    if remaining < done:
+                        done = remaining
+                r = done * rp
+                mi = r * mr
+                a0 = mi * mrow[0]
+                a1 = mi * mrow[1]
+                m0_l[i] += a0
+                m1_l[i] += a1
+                bi_l[i] += done
+                br_l[i] += r
+                bm_l[i] += mi
+                local = a0 if nd0 else a1
+                bl_l[i] += local
+                bx_l[i] += (a0 + a1) - local
+
+                id_l[i] += done
+                slice_l[i] += epoch
+                burst_l[i] -= epoch
+                i += 1
+                if d > 0:
+                    r0 = row[0]
+                    r1 = row[1]
+                    keep = 1.0 - d
+                    n0 = r0 * keep
+                    n1 = r1 * keep
+                    if nd0:
+                        n0 = n0 + d
+                    else:
+                        n1 = n1 + d
+                    row[0] = n0
+                    row[1] = n1
+                    over[0] += (n0 - r0) / nsl
+                    over[1] += (n1 - r1) / nsl
+
+            for w_l, j, cf in flat_charge:
+                w_l[j] = 1.0 - (1.0 - w_l[j]) * cf
+
+        # --- Commit ----------------------------------------------------
+        for i in range(k):
+            pcpu = running_pcpus[i]
+            pcpu.overhead_pending_s = pend_l[i]
+            pcpu.busy_time_s = busy_l[i]
+            vcpu = running_vcpus[i]
+            vcpu.workload.instructions_done = id_l[i]
+            vcpu.slice_used_s = slice_l[i]
+            vcpu.run_burst_remaining_s = burst_l[i]
+        machine.busy_time_s = mbusy
+
+        rows_l = rows_arr.tolist()
+        for i in range(k):
+            b = banks[i]
+            b.instructions = bi_l[i]
+            b.llc_refs = br_l[i]
+            b.llc_misses = bm_l[i]
+            b.local_accesses = bl_l[i]
+            b.remote_accesses = bx_l[i]
+            r = rows_l[i]
+            matrix[r, 0] = m0_l[i]
+            matrix[r, 1] = m1_l[i]
+
+        committed_rows: Set[int] = set()
+        for i in range(k):
+            if drift[i] <= 0:
+                continue
+            row = row_src[i]
+            rid = id(row)
+            if rid not in committed_rows:
+                committed_rows.add(rid)
+                loc = rloc[i]
+                row[0] = loc[0]
+                row[1] = loc[1]
+            running_vcpus[i].domain.placement._np_stale = True
+        for i in range(k):
+            over = over_src[i]
+            loc = oloc[i]
+            over[0] = loc[0]
+            over[1] = loc[1]
+
+        # Batch-final transitions, in running order (interior epochs are
+        # transition-free by the horizon contract; the burst cap is
+        # inclusive, so a burst draining to zero blocks here).
+        policy = machine.policy
+        log = machine.log
+        for i in range(k):
+            vcpu = running_vcpus[i]
+            w = vcpu.workload
+            total = totals[i]
+            if total is not None and w.instructions_done >= total:
+                pcpu = running_pcpus[i]
+                vcpu.mark_done(end_batch)
+                pcpu.current = None
+                machine.context_switches += 1
+                policy.on_context_switch(pcpu, vcpu, None)
+                log.emit(end_batch, "finish", vcpu=vcpu.name)
+                self.finite_remaining -= 1
+            elif vcpu.run_burst_remaining_s <= 0:
+                pcpu = running_pcpus[i]
+                vcpu.block_until(end_batch + w.draw_block_time())
+                self.push_wake(vcpu)
+                pcpu.current = None
+                machine.context_switches += 1
+                policy.on_context_switch(pcpu, vcpu, None)
+
+        # --- LLC warmth commit -----------------------------------------
+        # Every node advances (a member-less node still decays its
+        # warm entries), exactly like the per-epoch path.
+        for node_id, members in enumerate(gather.node_members):
+            self._cache_advance_batch[node_id](
+                epoch,
+                kb,
+                members,
+                w_by_node.get(node_id, ()),
+                gather.node_member_sets[node_id],
+            )
+        return end_batch
+
+    # ------------------------------------------------------------------
+    # Horizon statistics
+    # ------------------------------------------------------------------
+    def horizon_stats(self) -> Optional[dict]:
+        """Horizon-length distribution and fusion counters for this run.
+
+        Returns None before the first horizon decision.  ``p50``/``p90``
+        are weighted percentiles over per-decision horizon lengths (the
+        smallest length covering that fraction of decisions); ``epochs``
+        is their weighted sum, ``batches`` counts advance_batch calls
+        (horizons of length > 1).  Counters reset with the engine, so a
+        run resumed from a checkpoint reports post-resume statistics
+        only.
+        """
+        hist = self._horizon_hist
+        if not hist:
+            return None
+        lengths = sorted(hist)
+        steps = sum(hist.values())
+
+        def pct(q: float) -> int:
+            target = q * steps
+            cum = 0
+            for length in lengths:
+                cum += hist[length]
+                if cum >= target:
+                    return length
+            return lengths[-1]
+
+        return {
+            "horizons": steps,
+            "epochs": sum(length * n for length, n in hist.items()),
+            "batches": self._batch_calls,
+            "fused_ticks": self._fused_tick_total,
+            "fused_repicks": self._repick_total,
+            "spec_attempts": self._spec_attempts,
+            "spec_misses": self._spec_misses,
+            "p50": pct(0.5),
+            "p90": pct(0.9),
+            "max": lengths[-1],
+            "hist": [[length, hist[length]] for length in lengths],
+        }

@@ -114,6 +114,23 @@ class SimConfig:
         On by default: the hooks cost <3% of an epoch (pinned by
         ``benchmarks/bench_profiler.py``) and, like ``log_events``,
         cannot affect simulated results.
+    fuse_ticks:
+        Let the batched engine extend horizons across Credit ticks and
+        slice expiries it can prove quiescent (the policy's
+        ``tick_is_quiescent`` contract); fused boundaries replay the
+        real tick/scheduling code at commit, so results stay bitwise
+        identical.  On by default; ``False`` is a pure opt-out escape
+        hatch restoring PR 5's tick-capped horizon sizing.  Only the
+        batched engine reads it.
+    speculative:
+        Opt-in: let the batched engine size horizons past the
+        conservative finite-work completion floor, validate the batch
+        against captured pre-batch state before any commit, and on
+        mis-speculation truncate to the proven prefix (replaying
+        singleton epochs below the kernel break-even).  Results remain
+        bitwise identical; off by default because the default path must
+        not depend on validate-and-retry.  Only the batched engine
+        reads it.
     """
 
     epoch_s: float = 1e-3
@@ -130,6 +147,8 @@ class SimConfig:
     max_epochs: Optional[int] = None
     label: str = ""
     profile: bool = True
+    fuse_ticks: bool = True
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.epoch_s, "epoch_s")
@@ -545,14 +564,7 @@ class Machine:
 
         # 1. Credit tick (credits, preemption) and PMU refresh charges.
         if self.epoch_index % self._epochs_per_tick == 0:
-            self.policy.on_tick(now, self.tick_index)
-            if self.policy.collects_pmu:
-                for pcpu in self.pcpus:
-                    if pcpu.current is not None:
-                        self.charge_overhead(
-                            "pmu", pcpu, self.pmu.record_collection()
-                        )
-            self.tick_index += 1
+            self._run_tick(now)
 
         # 2. Wakeups: a VCPU waking from sleep gets BOOST priority and
         # preempts a lower-class incumbent on its PCPU (__runq_tickle).
@@ -596,29 +608,7 @@ class Machine:
         # Like Xen's schedule(): prefer a local UNDER candidate; if the
         # best local work is OVER (or none), give the balancer a chance
         # to find an UNDER VCPU elsewhere before settling for it.
-        for pcpu in self.pcpus:
-            cur = pcpu.current
-            if cur is not None and not cur.runnable:
-                pcpu.current = None
-                cur = None
-            if cur is None:
-                # Local candidate first; if it is OVER (or the queue is
-                # empty), the balancer may find strictly better work
-                # elsewhere (Xen's csched_load_balance condition).
-                head_rank = pcpu.queue.head_rank()
-                nxt: Optional[Vcpu] = None
-                if head_rank is None or head_rank >= 2:
-                    t0 = self.profiler.start()
-                    nxt = self.policy.steal(
-                        pcpu, now, under_only=head_rank is not None
-                    )
-                    self.profiler.stop("balance", t0)
-                    if nxt is not None:
-                        self._account_steal(pcpu, nxt, now)
-                if nxt is None:
-                    nxt = pcpu.queue.pop()
-                if nxt is not None:
-                    self._switch_in(pcpu, nxt, now)
+        self._schedule_pass(now)
 
         # Audit hook: placement and work conservation are only
         # guaranteed right here, after the pass filled every PCPU it
@@ -680,6 +670,53 @@ class Machine:
         self.epoch_index += stepped
         if auditor is not None:
             auditor.after_epoch(self, sample_boundary)
+
+    def _run_tick(self, now: float) -> None:
+        """Phase 1 of an epoch: Credit tick plus PMU refresh charges.
+
+        Split out of :meth:`_step_epoch` so the batched engine can
+        replay *fused* interior ticks through the identical code path
+        (see ``BatchedEngine.advance_batch``); the stepper and the
+        engine therefore cannot drift apart on tick accounting.
+        """
+        self.policy.on_tick(now, self.tick_index)
+        if self.policy.collects_pmu:
+            for pcpu in self.pcpus:
+                if pcpu.current is not None:
+                    self.charge_overhead("pmu", pcpu, self.pmu.record_collection())
+        self.tick_index += 1
+
+    def _schedule_pass(self, now: float) -> None:
+        """Phase 3 of an epoch: fill idle PCPUs, stealing if needed.
+
+        Also shared with the batched engine, which replays it at fused
+        slice-expiry boundaries (where it re-picks the just-preempted
+        incumbent) and — implicitly, via the same pick/steal sequence —
+        for idle PCPUs at interior batch epochs.
+        """
+        for pcpu in self.pcpus:
+            cur = pcpu.current
+            if cur is not None and not cur.runnable:
+                pcpu.current = None
+                cur = None
+            if cur is None:
+                # Local candidate first; if it is OVER (or the queue is
+                # empty), the balancer may find strictly better work
+                # elsewhere (Xen's csched_load_balance condition).
+                head_rank = pcpu.queue.head_rank()
+                nxt: Optional[Vcpu] = None
+                if head_rank is None or head_rank >= 2:
+                    t0 = self.profiler.start()
+                    nxt = self.policy.steal(
+                        pcpu, now, under_only=head_rank is not None
+                    )
+                    self.profiler.stop("balance", t0)
+                    if nxt is not None:
+                        self._account_steal(pcpu, nxt, now)
+                if nxt is None:
+                    nxt = pcpu.queue.pop()
+                if nxt is not None:
+                    self._switch_in(pcpu, nxt, now)
 
     def _account_steal(self, thief: Pcpu, vcpu: Vcpu, now: float) -> None:
         source = vcpu.pcpu

@@ -48,9 +48,11 @@ class TestParser:
 
     def test_bench_parses(self):
         args = build_parser().parse_args(["bench"])
-        assert args.suite == ["engine", "grid", "profiler"]
+        assert args.suite == ["engine", "grid", "profiler", "audit"]
         args = build_parser().parse_args(["bench", "--suite", "engine"])
         assert args.suite == ["engine"]
+        args = build_parser().parse_args(["bench", "--suite", "audit"])
+        assert args.suite == ["audit"]
 
     def test_trace_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):

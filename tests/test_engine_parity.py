@@ -55,6 +55,7 @@ def _canonical_summary(engine: str, params: dict) -> str:
     machine.run(max_time_s=0.6)
     summary = summarize(machine).to_dict()
     summary.pop("phase_profile", None)
+    summary.pop("horizon_stats", None)
     return json.dumps(summary, sort_keys=True)
 
 

@@ -271,10 +271,14 @@ class TestSchemaValidator:
         assert errors and "[1]" in errors[0]
 
     def test_report_envelope(self):
-        good = {"schema": "repro.report/v1", "kind": "fig1", "payload": {}}
+        good = {"schema": "repro.report/v2", "kind": "fig1", "payload": {}}
         assert validate_report(good) == []
         assert validate_report({"schema": "wrong", "kind": "fig1", "payload": {}})
-        assert validate_report({"schema": "repro.report/v1", "payload": {}})
+        assert validate_report({"schema": "repro.report/v2", "payload": {}})
+        # Pre-horizon-stats envelopes are stale, not silently accepted.
+        assert validate_report(
+            {"schema": "repro.report/v1", "kind": "fig1", "payload": {}}
+        )
         assert validate(good, REPORT_ENVELOPE_SCHEMA) == []
 
     def test_trace_file_structure_errors(self, tmp_path):
@@ -330,3 +334,4 @@ class TestProfilerAccounting:
         payload = summary.to_dict()
         assert "phase_profile" in payload
         assert "phase_profile" not in summary.to_dict(include_profile=False)
+        assert "horizon_stats" not in summary.to_dict(include_profile=False)

@@ -55,6 +55,7 @@ def canonical_result(summary) -> str:
     """The comparison form: canonical JSON minus the wall-clock profile."""
     payload = summary_to_payload(summary)
     payload.pop("phase_profile", None)
+    payload.pop("horizon_stats", None)
     return canonical_dumps(payload)
 
 
