@@ -61,10 +61,14 @@ def test_warm_report_speedup(tmp_path):
     warm_s, warm = report(tmp_path / "warm")
     speedup = cold_s / warm_s
 
+    # recovery.json is the run's *own* accounting (cache hit/miss
+    # counters), which legitimately differs between a cold and a warm
+    # pass; the byte-identity gate is about the figures.
     mismatched = [
         f.name
         for f in sorted((tmp_path / "cold").glob("*.json"))
-        if f.read_bytes() != (tmp_path / "warm" / f.name).read_bytes()
+        if f.name != "recovery.json"
+        and f.read_bytes() != (tmp_path / "warm" / f.name).read_bytes()
     ]
 
     _write_bench(
@@ -113,13 +117,14 @@ def test_chunked_dispatch():
         return time.perf_counter() - start, results
 
     # Warm the pool/fork machinery once so neither side pays it, then
-    # keep each side's best of two rounds (spawn-time noise dominates
+    # keep each side's best of three rounds (spawn-time noise dominates
     # single measurements at this scale).
     sweep(None)
     per_cell_s, per_cell = sweep(1)
-    per_cell_s = min(per_cell_s, sweep(1)[0])
     chunked_s, chunked = sweep(None)
-    chunked_s = min(chunked_s, sweep(None)[0])
+    for _ in range(2):
+        per_cell_s = min(per_cell_s, sweep(1)[0])
+        chunked_s = min(chunked_s, sweep(None)[0])
 
     _write_bench(
         "chunked_dispatch",

@@ -67,6 +67,24 @@ naming them (keyed by cell name *and grid index*, so two lambdas that
 render identically cannot silently merge).  Retried cells are recorded
 in :attr:`ParallelRunner.retried_cells` so a flaky pool never passes
 silently.
+
+**Lane stacking.**  With ``engine="stacked"``, the runner partitions
+each grid's misses into *stacks* of compatible cells — same builder
+identity and same result-defining config apart from the seed (the
+scheduler may differ; it is part of the cell, not the stack signature)
+— and dispatches each stack as one unit through
+:func:`repro.xen.stacked.run_stacked`, which advances all lanes
+through one shared lanes×slots kernel.  Every lane's summary is
+bitwise what its solo batched run produces (the repo's engine-parity
+contract), so cache keys, journal records and report bytes are
+unchanged; only dispatch shape differs.  Accounting stays *per lane*:
+a lane that raises :class:`~repro.xen.simulator.SimulationTimeout` is
+quarantined alone, a lane that crashes is retried solo (its stack-mates'
+results land first), and a stack that overruns its pooled wall-clock
+budget (``deadline_s`` × lanes) falls back to per-cell dispatch where
+each cell gets the ordinary strike discipline.  Cells left over after
+planning (singleton groups, incompatible shapes) take the historical
+per-cell path.
 """
 
 from __future__ import annotations
@@ -101,8 +119,12 @@ from repro.experiments.runner import (
     aggregate_mean_stats,
     execute_cell,
 )
-from repro.experiments.scenarios import SCHEDULER_NAMES, ScenarioConfig
-from repro.metrics.collectors import RunSummary
+from repro.experiments.scenarios import (
+    SCHEDULER_NAMES,
+    ScenarioConfig,
+    make_scheduler,
+)
+from repro.metrics.collectors import RunSummary, summarize
 from repro.recovery.deadline import (
     CellDeadlineExceeded,
     DeadlinePolicy,
@@ -117,10 +139,19 @@ __all__ = [
     "ParallelExecutionError",
     "GridIncompleteError",
     "default_jobs",
+    "run_stacked_batch_guarded",
+    "run_packed_batch_guarded",
 ]
 
 #: One grid cell: (builder, scheduler name, config).
 Cell = Tuple[ScenarioBuilder, str, ScenarioConfig]
+
+#: Default lane cap per stack with ``engine="stacked"`` — matches the
+#: lane-scaling knee recorded in ``benchmarks/BENCH_stacked.json``.
+DEFAULT_STACK_LANES = 16
+
+#: Distinguishes "not memoized yet" from a memoized ``None``.
+_UNSET = object()
 
 #: Failures spelled out in a ParallelExecutionError message before the
 #: rest collapse into "... and N more" (each repeats the cell name and
@@ -181,9 +212,85 @@ def run_cell_batch(cells: Sequence[Cell]) -> List[RunSummary]:
     return [execute_cell(b, s, c) for b, s, c in cells]
 
 
+def _build_lane_machine(cell: Cell):
+    """Materialize one cell into a ready-to-run machine (lane)."""
+    builder, scheduler, cfg = cell
+    return builder(make_scheduler(scheduler), cfg)
+
+
+def run_stacked_batch_guarded(
+    cells: Sequence[Cell], deadline_s: Optional[float] = None
+) -> List[Tuple[str, object]]:
+    """Worker entry: run one stack of lanes, reporting per-lane outcomes.
+
+    Module-level, picklable and cache-blind like
+    :func:`~repro.recovery.deadline.run_cell_batch_guarded`, and with
+    the same outcome protocol — ``("ok", summary)``, ``("timeout",
+    (type, detail))`` or ``("error", (type, detail))`` per cell — so
+    the parent's result handling is dispatch-shape agnostic.  The
+    wall-clock budget is pooled (``deadline_s`` × lanes: the lanes run
+    concurrently through one kernel, so no single lane owns the
+    clock); if it fires, every lane reports a deadline timeout and the
+    parent re-dispatches them per-cell under the ordinary per-cell
+    alarm, which restores exact per-lane deadline accounting.
+    """
+    from repro.xen.stacked import run_stacked
+
+    budget = None if deadline_s is None else deadline_s * len(cells)
+    try:
+        with alarm_guard(budget):
+            lanes = run_stacked([_build_lane_machine(c) for c in cells])
+    except CellDeadlineExceeded as exc:
+        payload = ("CellDeadlineExceeded", f"stack of {len(cells)} lanes: {exc}")
+        return [("timeout", payload) for _ in cells]
+    except Exception as exc:
+        # Stack-level failure before any lane ran (e.g. a builder
+        # crash): every cell takes the crash-retry path.
+        payload = (type(exc).__name__, str(exc))
+        return [("error", payload) for _ in cells]
+    outcomes: List[Tuple[str, object]] = []
+    for lane in lanes:
+        if lane.ok:
+            outcomes.append(("ok", summarize(lane.result.machine)))
+        elif isinstance(lane.error, SimulationTimeout):
+            outcomes.append(("timeout", ("SimulationTimeout", str(lane.error))))
+        else:
+            outcomes.append(
+                ("error", (type(lane.error).__name__, str(lane.error)))
+            )
+    return outcomes
+
+
+def run_packed_batch_guarded(
+    builders: Sequence[ScenarioBuilder],
+    packed: Sequence[Tuple[int, str, ScenarioConfig]],
+    deadline_s: Optional[float] = None,
+) -> List[Tuple[str, object]]:
+    """Worker entry for builder-deduplicated chunks.
+
+    ``packed`` cells reference their builder by index into
+    ``builders``, so a chunk whose cells share one scenario builder
+    ships (and unpickles) that builder exactly once per chunk instead
+    of once per cell — the pickle-memo guarantee extended across
+    distinct-but-equal ``partial`` objects, which the figure modules
+    create one per grid point.
+    """
+    cells = [(builders[j], scheduler, cfg) for j, scheduler, cfg in packed]
+    return run_cell_batch_guarded(cells, deadline_s)
+
+
 def _auto_chunksize(cells: int, workers: int) -> int:
-    """~4 chunks per worker: amortizes IPC while keeping load balance."""
-    return max(1, math.ceil(cells / (workers * 4)))
+    """~2 chunks per worker, at most 64 cells per chunk.
+
+    The executor round-trip (submit + result pickling) costs ~1 ms per
+    task while even the smallest grid cells simulate for ~5 ms, so
+    fewer, larger chunks win: two per worker halves the round-trips of
+    the old ~4-per-worker rule and still leaves one rebalance
+    opportunity when cell costs are uneven.  The 64-cell cap keeps a
+    single slow mega-chunk from serializing a huge sweep.
+    ``benchmarks/BENCH_grid.json`` records the measured effect.
+    """
+    return max(1, min(64, math.ceil(cells / (workers * 2))))
 
 
 class ParallelExecutionError(RuntimeError):
@@ -247,14 +354,20 @@ class ParallelRunner:
         picks :func:`_auto_chunksize`; ``1`` forces the historical
         one-future-per-cell dispatch.
     engine:
-        Optional engine selector (``"batched"``, ``"vector"`` or
-        ``"reference"``).  When set, every dispatched cell's config is
-        rewritten to run on that engine — the selector travels inside
-        the pickled :class:`ScenarioConfig`, so workers need no extra
-        plumbing.  ``None`` (default) respects each cell's own config.
-        Because the engines are bitwise-identical, the selector can
-        never change results, only wall time
-        (``tests/test_parallel.py`` pins this).
+        Optional engine selector (``"batched"``, ``"vector"``,
+        ``"reference"`` or ``"stacked"``).  When set, every dispatched
+        cell's config is rewritten to run on that engine — the
+        selector travels inside the pickled :class:`ScenarioConfig`,
+        so workers need no extra plumbing.  ``None`` (default)
+        respects each cell's own config.  ``"stacked"`` additionally
+        changes the *dispatch shape*: compatible misses are grouped
+        into lane stacks (see :meth:`_plan_stacks`) and advanced
+        through one shared kernel per stack.  Because the engines are
+        bitwise-identical, the selector can never change results, only
+        wall time (``tests/test_parallel.py`` pins this).
+    stack_lanes:
+        Lane cap per stack when ``engine="stacked"``
+        (default :data:`DEFAULT_STACK_LANES`); ignored otherwise.
     journal:
         Optional :class:`~repro.recovery.journal.GridJournal`.
         Journaled cells resolve without recomputation (counted in
@@ -286,20 +399,29 @@ class ParallelRunner:
         deadline: "DeadlinePolicy | float | None" = None,
         shutdown: Optional["GracefulShutdown"] = None,
         checkpoint_dir: "pathlib.Path | str | None" = None,
+        stack_lanes: int = DEFAULT_STACK_LANES,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        if engine is not None and engine not in ("batched", "vector", "reference"):
+        if engine is not None and engine not in (
+            "batched",
+            "vector",
+            "reference",
+            "stacked",
+        ):
             raise ValueError(
-                "engine must be 'batched', 'vector', 'reference' or None, "
-                f"got {engine!r}"
+                "engine must be 'batched', 'vector', 'reference', "
+                f"'stacked' or None, got {engine!r}"
             )
+        if stack_lanes < 1:
+            raise ValueError(f"stack_lanes must be >= 1, got {stack_lanes}")
         self.jobs = jobs
         self.cache = cache
         self.chunksize = chunksize
         self.engine = engine
+        self.stack_lanes = stack_lanes
         self.journal = journal
         self.deadline = DeadlinePolicy.coerce(deadline)
         self.shutdown = shutdown
@@ -315,6 +437,15 @@ class ParallelRunner:
         #: cells quarantined (or already quarantined in the journal)
         #: during the latest :meth:`run_cells` call
         self.quarantined: List[Quarantine] = []
+        #: lane stacks (lists of grid indices) the latest
+        #: :meth:`run_cells` call dispatched (empty off the stacked path)
+        self.stacks: List[List[int]] = []
+        #: per-run_cells memos: builder fingerprints keyed by object
+        #: identity (one hash per distinct builder per grid — not one
+        #: per cell) and full cache keys keyed by (fingerprint,
+        #: scheduler, config identity)
+        self._fid_memo: Dict[int, Optional[str]] = {}
+        self._key_memo: Dict[Tuple[str, str, int], str] = {}
         #: lifetime accumulators across every :meth:`run_cells` call
         self.total_retried_cells: List[str] = []
         self.total_cache_hits = 0
@@ -325,6 +456,43 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     # Cache + journal plumbing
     # ------------------------------------------------------------------
+    def _builder_fid(self, builder: ScenarioBuilder) -> Optional[str]:
+        """Memoized :func:`~repro.cache.keys.builder_fingerprint`.
+
+        Keyed by object identity, which is stable for the duration of
+        one :meth:`run_cells` call (the cells hold the references): a
+        grid of N seeds × M schedulers over one builder fingerprints it
+        once, not N×M times.
+        """
+        from repro.cache.keys import builder_fingerprint
+
+        marker = self._fid_memo.get(id(builder), _UNSET)
+        if marker is _UNSET:
+            marker = builder_fingerprint(builder)
+            self._fid_memo[id(builder)] = marker
+        return marker
+
+    def _cell_key(self, cell: Cell) -> Optional[str]:
+        """Memoized :func:`~repro.cache.keys.result_key` for one cell.
+
+        The config hash is likewise deduplicated by object identity —
+        ``compare_mean`` shares one config object across a seed's
+        scheduler row, so the row pays one config hash, not one per
+        scheduler.
+        """
+        from repro.cache.keys import scenario_key
+
+        builder, scheduler, cfg = cell
+        fid = self._builder_fid(builder)
+        if fid is None:
+            return None
+        memo_key = (fid, scheduler, id(cfg))
+        key = self._key_memo.get(memo_key)
+        if key is None:
+            key = scenario_key(fid, scheduler, cfg)
+            self._key_memo[memo_key] = key
+        return key
+
     def _lookup(
         self, cells: Sequence[Cell], results: List[Optional[RunSummary]]
     ) -> Tuple[List[Optional[str]], List[int]]:
@@ -339,12 +507,10 @@ class ParallelRunner:
         keys: List[Optional[str]] = [None] * len(cells)
         if self.cache is None and self.journal is None:
             return keys, list(range(len(cells)))
-        from repro.cache.keys import result_key
 
         misses: List[int] = []
         for index, cell in enumerate(cells):
-            builder, scheduler, cfg = cell
-            key = result_key(builder, scheduler, cfg)
+            key = self._cell_key(cell)
             keys[index] = key
             if key is not None and self.journal is not None:
                 hit = self.journal.get_cell(key)
@@ -456,6 +622,9 @@ class ParallelRunner:
         self.cache_misses = 0
         self.journal_hits = 0
         self.quarantined = []
+        self.stacks = []
+        self._fid_memo = {}
+        self._key_memo = {}
         if self.engine is not None:
             cells = [
                 (builder, scheduler, dataclasses.replace(cfg, engine=self.engine))
@@ -464,8 +633,13 @@ class ParallelRunner:
         results: List[Optional[RunSummary]] = [None] * len(cells)
         try:
             keys, misses = self._lookup(cells, results)
-            if misses:
-                if self.jobs <= 1 or len(misses) <= 1:
+            if self.engine == "stacked" and len(misses) > 1:
+                self.stacks, misses = self._plan_stacks(cells, misses)
+            if misses or self.stacks:
+                if self.jobs <= 1 or len(misses) + len(self.stacks) <= 1:
+                    for stack in self.stacks:
+                        self._check_shutdown()
+                        self._attempt_stack(stack, cells, keys, results)
                     for index in misses:
                         self._check_shutdown()
                         summary = self._attempt_cell(index, cells[index], keys[index])
@@ -474,7 +648,7 @@ class ParallelRunner:
                                 index, cells[index], keys[index], summary, results
                             )
                 else:
-                    self._run_parallel(cells, keys, misses, results)
+                    self._run_parallel(cells, keys, misses, results, self.stacks)
         finally:
             self.total_cache_hits += self.cache_hits
             self.total_cache_misses += self.cache_misses
@@ -553,42 +727,204 @@ class ParallelRunner:
                 time.sleep(policy.backoff_s(strikes))
                 self._check_shutdown()
 
+    # ------------------------------------------------------------------
+    # Lane stacking
+    # ------------------------------------------------------------------
+    def _plan_stacks(
+        self, cells: Sequence[Cell], misses: List[int]
+    ) -> Tuple[List[List[int]], List[int]]:
+        """Partition miss indices into lane stacks plus leftovers.
+
+        Two cells are stack-compatible when they share a builder
+        identity (fingerprint when provable, object identity otherwise
+        — an anonymous builder can still stack against itself) and the
+        same result-defining config apart from the seed.  The
+        scheduler deliberately stays *out* of the signature: lanes of
+        one stack may run different policies, which is what lets a
+        ``compare``/``compare_mean`` grid stack its whole scheduler ×
+        seed product.  Groups are cut into stacks of at most
+        :attr:`stack_lanes` in grid order; singleton cuts fall back to
+        the per-cell path (a one-lane stack only adds kernel framing).
+        """
+        from repro.obs.manifest import config_hash, fault_fingerprint
+
+        cfg_parts: Dict[int, Tuple] = {}
+        groups: Dict[Tuple, List[int]] = {}
+        for index in misses:
+            builder, _scheduler, cfg = cells[index]
+            part = cfg_parts.get(id(cfg))
+            if part is None:
+                seedless = dataclasses.replace(cfg, seed=0, label="")
+                part = (
+                    cfg.work_scale,
+                    config_hash(seedless.sim_config()),
+                    fault_fingerprint(cfg.faults),
+                )
+                cfg_parts[id(cfg)] = part
+            fid = self._builder_fid(builder)
+            sig = (fid if fid is not None else id(builder), *part)
+            groups.setdefault(sig, []).append(index)
+        stacks: List[List[int]] = []
+        leftovers: List[int] = []
+        for indices in groups.values():
+            for start in range(0, len(indices), self.stack_lanes):
+                stack = indices[start : start + self.stack_lanes]
+                if len(stack) >= 2:
+                    stacks.append(stack)
+                else:
+                    leftovers.extend(stack)
+        leftovers.sort()
+        return stacks, leftovers
+
+    def _attempt_stack(
+        self,
+        stack: Sequence[int],
+        cells: Sequence[Cell],
+        keys: List[Optional[str]],
+        results: List[Optional[RunSummary]],
+    ) -> None:
+        """One in-parent attempt at a whole stack, per-lane accounting.
+
+        Completed lanes land in the result/cache/journal slots exactly
+        as per-cell runs do; a lane's
+        :class:`~repro.xen.simulator.SimulationTimeout` quarantines
+        that lane alone; a lane crash re-raises only after its
+        stack-mates have landed (mirroring the serial per-cell contract
+        where non-timeout errors are fatal).  An overrun of the pooled
+        wall-clock budget (``deadline_s`` × lanes) falls back to
+        per-cell attempts carrying one prior strike each — innocent
+        lanes simply complete inside their own per-cell alarm, the
+        offender strikes out on the ordinary schedule.
+        """
+        from repro.xen.stacked import run_stacked
+
+        deadline_s = self.deadline.deadline_s if self.deadline is not None else None
+        budget = None if deadline_s is None else deadline_s * len(stack)
+        machines = [_build_lane_machine(cells[i]) for i in stack]
+        stop = self.shutdown.is_requested if self.shutdown is not None else None
+        checks = [stop] * len(stack) if stop is not None else None
+        try:
+            if self.shutdown is not None:
+                # Deferred like the serial per-cell path: a signal sets
+                # the flag, every live lane stops at its next epoch
+                # boundary, finished lanes still land below.
+                with self.shutdown.deferred():
+                    with alarm_guard(budget):
+                        lanes = run_stacked(machines, stop_checks=checks)
+            else:
+                with alarm_guard(budget):
+                    lanes = run_stacked(machines, stop_checks=checks)
+        except CellDeadlineExceeded:
+            for index in stack:
+                self._check_shutdown()
+                summary = self._attempt_cell(
+                    index, cells[index], keys[index], prior_strikes=1
+                )
+                if summary is not None:
+                    self._finish(index, cells[index], keys[index], summary, results)
+            return
+        first_error: Optional[BaseException] = None
+        for index, lane in zip(stack, lanes):
+            if lane.ok:
+                if lane.result.interrupted:
+                    continue  # stopped mid-run; a resume recomputes it
+                self._finish(
+                    index,
+                    cells[index],
+                    keys[index],
+                    summarize(lane.result.machine),
+                    results,
+                )
+            elif isinstance(lane.error, SimulationTimeout):
+                self._quarantine(
+                    index, cells[index], keys[index], "sim_timeout", 1, str(lane.error)
+                )
+            elif first_error is None:
+                first_error = lane.error
+        self._check_shutdown()
+        if first_error is not None:
+            raise first_error
+
+    def _pack_chunk(
+        self, cells: Sequence[Cell], chunk: Sequence[int]
+    ) -> Tuple[List[ScenarioBuilder], List[Tuple[int, str, ScenarioConfig]]]:
+        """Dedupe builders for one chunk's submission payload.
+
+        Builders are deduplicated by fingerprint when provable (two
+        equal ``partial`` objects collapse onto the first instance —
+        the fingerprint guarantees the same code path and bound
+        arguments) and by object identity otherwise, so the chunk
+        pickles each distinct builder once.
+        """
+        builders: List[ScenarioBuilder] = []
+        slots: Dict[object, int] = {}
+        packed: List[Tuple[int, str, ScenarioConfig]] = []
+        for index in chunk:
+            builder, scheduler, cfg = cells[index]
+            fid = self._builder_fid(builder)
+            dedupe_key: object = fid if fid is not None else id(builder)
+            slot = slots.get(dedupe_key)
+            if slot is None:
+                slot = slots[dedupe_key] = len(builders)
+                builders.append(builder)
+            packed.append((slot, scheduler, cfg))
+        return builders, packed
+
     def _run_parallel(
         self,
         cells: Sequence[Cell],
         keys: List[Optional[str]],
         misses: List[int],
         results: List[Optional[RunSummary]],
+        stacks: Sequence[Sequence[int]] = (),
     ) -> None:
-        """Dispatch miss indices in chunks; fill ``results`` in place."""
-        workers = min(self.jobs, len(misses))
+        """Dispatch chunks and stacks over one pool; fill ``results``.
+
+        Per-cell misses go out as builder-deduplicated chunks
+        (:func:`run_packed_batch_guarded`), lane stacks as whole units
+        (:func:`run_stacked_batch_guarded`); both report the same
+        per-cell outcome protocol, so everything downstream of the
+        futures — quarantine, deadline retries, crash retries — is
+        dispatch-shape agnostic.
+        """
+        workers = min(self.jobs, max(1, len(misses) + len(stacks)))
         size = self.chunksize or _auto_chunksize(len(misses), workers)
-        chunks = [misses[i : i + size] for i in range(0, len(misses), size)]
+        chunks: List[List[int]] = [
+            misses[i : i + size] for i in range(0, len(misses), size)
+        ]
         deadline_s = self.deadline.deadline_s if self.deadline is not None else None
+        tasks: List[Tuple[List[int], object, Tuple]] = []
+        for chunk in chunks:
+            builders, packed = self._pack_chunk(cells, chunk)
+            tasks.append((chunk, run_packed_batch_guarded, (builders, packed, deadline_s)))
+        for stack in stacks:
+            tasks.append(
+                (
+                    list(stack),
+                    run_stacked_batch_guarded,
+                    ([cells[i] for i in stack], deadline_s),
+                )
+            )
         failed: List[int] = []
         timeouts: Dict[int, Tuple[str, str]] = {}
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
             futures: Dict[int, object] = {}
-            for chunk_id, chunk in enumerate(chunks):
+            for task_id, (indices, fn, args) in enumerate(tasks):
                 try:
-                    futures[chunk_id] = pool.submit(
-                        run_cell_batch_guarded,
-                        [cells[i] for i in chunk],
-                        deadline_s,
-                    )
+                    futures[task_id] = pool.submit(fn, *args)
                 except BrokenProcessPool:
                     # The pool died while we were still submitting;
                     # everything not yet submitted goes to the retry.
-                    failed.extend(chunk)
-            for chunk_id, future in futures.items():
-                chunk = chunks[chunk_id]
+                    failed.extend(indices)
+            for task_id, future in futures.items():
+                indices = tasks[task_id][0]
                 try:
                     outcomes = future.result()
                 except Exception:
-                    failed.extend(chunk)
+                    failed.extend(indices)
                 else:
-                    for index, (status, payload) in zip(chunk, outcomes):
+                    for index, (status, payload) in zip(indices, outcomes):
                         if status == "ok":
                             self._finish(index, cells[index], keys[index], payload, results)
                         elif status == "timeout":

@@ -953,6 +953,41 @@ class _BatchInvariants:
         self.aff_i1, self.aff_i2 = _aff_inner(k)
 
 
+class _FusedState:
+    """Hoisted per-batch state for the fused scalar replay.
+
+    Carries the seeded accumulator lists (shared, mutated in place by
+    :meth:`BatchedEngine._fused_epochs`) plus the gather/plan handles
+    the commit needs.  ``mbusy`` is the one plain-float accumulator —
+    the epoch loop reads it into a local and writes the final back.
+    The stacked engine packs these lists into lane-stacked ndarrays
+    and unpacks the finals before commit; everything in between is
+    private to the batch, which is what makes the hand-off bitwise.
+    """
+
+    __slots__ = (
+        "gather",
+        "plan",
+        "k",
+        "kb",
+        "running_pcpus",
+        "running_vcpus",
+        "pend",
+        "busy",
+        "mbusy",
+        "idone",
+        "sused",
+        "burst",
+        "bi",
+        "br",
+        "bm",
+        "bl",
+        "bx",
+        "m0",
+        "m1",
+    )
+
+
 class BatchedEngine(VectorEngine):
     """Macro-stepping engine: one 2D kernel pass per quiet-epoch run.
 
@@ -2181,29 +2216,105 @@ class BatchedEngine(VectorEngine):
             scalars,
         )
 
-    def _advance_replay_fused(
+    def begin_fused_batch(
+        self, now: float, epoch: float, kb: int, kb_max: Optional[int] = None
+    ) -> Optional[tuple]:
+        """Stacked-engine entry: seed a fused batch without running it.
+
+        Mirrors the decision chain :meth:`advance_batch` walks before
+        committing to :meth:`_advance_replay_fused` — short horizon, no
+        fused ticks, no speculation, dual-socket, default contention
+        depth, every PCPU running — and, when all of it holds, performs
+        the gather memoisation and state seeding but **not** the epoch
+        loop.  Returns ``(state, end_batch)``; the caller must then run
+        ``kb`` epochs over ``state`` (via :meth:`_fused_epochs` or a
+        bitwise-equal kernel) and call :meth:`finish_fused_batch`.
+        Returns None when any precondition fails, in which case the
+        caller falls back to :meth:`advance_batch` unchanged — the
+        checks here are a conservative mirror, so a None is always
+        safe.
+
+        ``kb_max`` overrides the solo replay cap: the stacked engine
+        passes a larger bound (and accepts ``kb == 1`` singletons)
+        because batch partitioning is bitwise-neutral — running the
+        replay as one ``kb`` batch, as chunks, or epoch by epoch
+        evolves the same state.  Solo callers keep the default cap.
+        """
+        if kb_max is None:
+            if kb <= 1 or kb > self._REPLAY_MAX:
+                return None
+        elif kb < 1 or kb > kb_max:
+            return None
+        if self._fuse_plan or self._speculative or not self.two_node:
+            return None
+        machine = self.machine
+        if machine.config.contention_iterations != 2:
+            return None
+        running_pcpus = []
+        running_vcpus = []
+        sig_keys = []
+        sig_pids = []
+        for pcpu in machine.pcpus:
+            cur = pcpu.current
+            if cur is None:
+                return None
+            running_pcpus.append(pcpu)
+            running_vcpus.append(cur)
+            sig_keys.append(cur.key)
+            sig_pids.append(pcpu.pcpu_id)
+        k = len(running_vcpus)
+        if k == 0:
+            return None
+
+        # Same gather memoisation as advance_batch.
+        kg = self.key_gen
+        sig_kp = (tuple(sig_keys), tuple(sig_pids))
+        gens = tuple(kg[key] for key in sig_keys)
+        sig = (sig_kp, gens)
+        if sig != self._gather_sig:
+            cache = self._gather_cache
+            entry = cache.get(sig_kp)
+            if entry is None or entry[0] != gens:
+                gather = _Gather(self, running_pcpus, running_vcpus, k)
+                machine.profiler.count("gather_build")
+                if len(cache) >= 1024:
+                    cache.clear()
+                cache[sig_kp] = (gens, gather)
+            else:
+                gather = entry[1]
+            self._gather = gather
+            self._gather_sig = sig
+        else:
+            gather = self._gather
+
+        self._fuse_plan = None
+        self._batch_calls += 1
+        t = now
+        for _ in range(kb):
+            t = t + epoch
+        state = self._fused_seed(gather, running_pcpus, running_vcpus, k)
+        state.kb = kb
+        return state, t
+
+    def finish_fused_batch(
+        self, state: "_FusedState", end_batch: float, epoch: float, kb: int
+    ) -> float:
+        """Commit a batch begun by :meth:`begin_fused_batch`."""
+        return self._fused_commit(state, end_batch, epoch, kb)
+
+    def _fused_seed(
         self,
-        end_batch: float,
-        epoch: float,
-        kb: int,
         gather: _Gather,
         running_pcpus: list,
         running_vcpus: List[Vcpu],
         k: int,
-    ) -> float:
-        """Short event-free horizon: scalar replay with hoisted state.
+    ) -> "_FusedState":
+        """Seed the hoisted per-batch state for the fused replay.
 
-        Runs :meth:`advance_running`'s exact arithmetic — same Python-
-        float expressions, same accumulation order — for ``kb`` epochs,
-        but performs the running-set scan, gather lookup, warmth/PMU/
-        placement reads and every state commit once per batch instead
-        of once per epoch.  All accumulator chains (busy time, PMU
-        banks, placement drift, page-mix rows, the shared `overall`
-        vectors) evolve on Python locals seeded from live state; the
-        finals are written back after the last epoch, which is bitwise
-        neutral because nothing else reads them mid-batch (the caller
-        guarantees no fused tick, no idle PCPU, no speculation and an
-        event-free interior).  Dual-socket only.
+        Reseeds the assignment-static plan's warmth and placement
+        mirrors from live state and snapshots every accumulator chain
+        (busy time, PMU banks, progress, placement mixes) into Python
+        locals — the lists the epoch loop then evolves in place.
         """
         machine = self.machine
 
@@ -2227,22 +2338,6 @@ class BatchedEngine(VectorEngine):
             w_by_node,
             scalars,
         ) = plan
-        (
-            hit_ns,
-            local_dram,
-            bw0,
-            bw1,
-            qpi_bw,
-            s_dram,
-            s_remote,
-            cap,
-            knee,
-            bpm,
-        ) = scalars
-        drift = gather.drift
-        totals = gather.totals
-        row_src = gather.mix_row_src
-        over_src = gather.mix_over_src
 
         # Reseed the state-dependent inputs: member warmth from the live
         # tables, placement-row / `overall` mirrors from the live lists
@@ -2259,23 +2354,114 @@ class BatchedEngine(VectorEngine):
             loc[1] = src[1]
 
         # Accumulator seeds (live values in, finals out).
-        pend_l = [p.overhead_pending_s for p in running_pcpus]
-        busy_l = [p.busy_time_s for p in running_pcpus]
-        mbusy = machine.busy_time_s
-        id_l = [v.workload.instructions_done for v in running_vcpus]
-        slice_l = [v.slice_used_s for v in running_vcpus]
-        burst_l = [v.run_burst_remaining_s for v in running_vcpus]
         pmu = machine.pmu
         banks = gather.pmu_banks
         rows_arr = gather.pmu_rows
         matrix = pmu._node_matrix
-        bi_l = [b.instructions for b in banks]
-        br_l = [b.llc_refs for b in banks]
-        bm_l = [b.llc_misses for b in banks]
-        bl_l = [b.local_accesses for b in banks]
-        bx_l = [b.remote_accesses for b in banks]
-        m0_l = [float(matrix[r, 0]) for r in rows_arr.tolist()]
-        m1_l = [float(matrix[r, 1]) for r in rows_arr.tolist()]
+        state = _FusedState()
+        state.gather = gather
+        state.plan = plan
+        state.k = k
+        state.running_pcpus = running_pcpus
+        state.running_vcpus = running_vcpus
+        state.pend = [p.overhead_pending_s for p in running_pcpus]
+        state.busy = [p.busy_time_s for p in running_pcpus]
+        state.mbusy = machine.busy_time_s
+        state.idone = [v.workload.instructions_done for v in running_vcpus]
+        state.sused = [v.slice_used_s for v in running_vcpus]
+        state.burst = [v.run_burst_remaining_s for v in running_vcpus]
+        state.bi = [b.instructions for b in banks]
+        state.br = [b.llc_refs for b in banks]
+        state.bm = [b.llc_misses for b in banks]
+        state.bl = [b.local_accesses for b in banks]
+        state.bx = [b.remote_accesses for b in banks]
+        state.m0 = [float(matrix[r, 0]) for r in rows_arr.tolist()]
+        state.m1 = [float(matrix[r, 1]) for r in rows_arr.tolist()]
+        return state
+
+    def _advance_replay_fused(
+        self,
+        end_batch: float,
+        epoch: float,
+        kb: int,
+        gather: _Gather,
+        running_pcpus: list,
+        running_vcpus: List[Vcpu],
+        k: int,
+    ) -> float:
+        """Short event-free horizon: scalar replay with hoisted state.
+
+        Runs :meth:`advance_running`'s exact arithmetic — same Python-
+        float expressions, same accumulation order — for ``kb`` epochs,
+        but performs the running-set scan, gather lookup, warmth/PMU/
+        placement reads and every state commit once per batch instead
+        of once per epoch.  All accumulator chains (busy time, PMU
+        banks, placement drift, page-mix rows, the shared `overall`
+        vectors) evolve on Python locals seeded from live state; the
+        finals are written back after the last epoch, which is bitwise
+        neutral because nothing else reads them mid-batch (the caller
+        guarantees no fused tick, no idle PCPU, no speculation and an
+        event-free interior).  Dual-socket only.
+
+        Split into seed / epochs / commit phases so the stacked engine
+        (:mod:`repro.xen.stacked`) can interleave many machines' epoch
+        loops; running them back to back here is the solo path.
+        """
+        state = self._fused_seed(gather, running_pcpus, running_vcpus, k)
+        self._fused_epochs(state, epoch, kb)
+        return self._fused_commit(state, end_batch, epoch, kb)
+
+    def _fused_epochs(
+        self, state: "_FusedState", epoch: float, kb: int
+    ) -> None:
+        """Run ``kb`` epochs of the fused scalar replay over ``state``.
+
+        Pure accumulator evolution — every read and write goes through
+        ``state``'s lists (shared with the seeded plan), so running the
+        loop in chunks (``kb = a`` then ``kb = b``) is bitwise the
+        single ``kb = a + b`` call.  The stacked engine relies on both
+        properties: chunked resumption for lane lockstep, and the state
+        contract for its vectorized kernel.
+        """
+        (
+            flat_plan,
+            flat_charge,
+            rows,
+            miss,
+            mix_rows,
+            reseed_w,
+            row_pairs,
+            over_pairs,
+            rloc,
+            oloc,
+            w_by_node,
+            scalars,
+        ) = state.plan
+        (
+            hit_ns,
+            local_dram,
+            bw0,
+            bw1,
+            qpi_bw,
+            s_dram,
+            s_remote,
+            cap,
+            knee,
+            bpm,
+        ) = scalars
+        pend_l = state.pend
+        busy_l = state.busy
+        mbusy = state.mbusy
+        id_l = state.idone
+        slice_l = state.sused
+        burst_l = state.burst
+        bi_l = state.bi
+        br_l = state.br
+        bm_l = state.bm
+        bl_l = state.bl
+        bx_l = state.bx
+        m0_l = state.m0
+        m1_l = state.m1
 
         # --- Per-epoch replay ------------------------------------------
         # Each epoch preserves the reference phase order: miss curves,
@@ -2402,6 +2588,52 @@ class BatchedEngine(VectorEngine):
 
             for w_l, j, cf in flat_charge:
                 w_l[j] = 1.0 - (1.0 - w_l[j]) * cf
+
+        state.mbusy = mbusy
+
+    def _fused_commit(
+        self, state: "_FusedState", end_batch: float, epoch: float, kb: int
+    ) -> float:
+        """Write a fused batch's finals back and run batch-final events."""
+        machine = self.machine
+        gather = state.gather
+        k = state.k
+        running_pcpus = state.running_pcpus
+        running_vcpus = state.running_vcpus
+        (
+            flat_plan,
+            flat_charge,
+            rows,
+            miss,
+            mix_rows,
+            reseed_w,
+            row_pairs,
+            over_pairs,
+            rloc,
+            oloc,
+            w_by_node,
+            scalars,
+        ) = state.plan
+        pend_l = state.pend
+        busy_l = state.busy
+        mbusy = state.mbusy
+        id_l = state.idone
+        slice_l = state.sused
+        burst_l = state.burst
+        bi_l = state.bi
+        br_l = state.br
+        bm_l = state.bm
+        bl_l = state.bl
+        bx_l = state.bx
+        m0_l = state.m0
+        m1_l = state.m1
+        drift = gather.drift
+        totals = gather.totals
+        row_src = gather.mix_row_src
+        over_src = gather.mix_over_src
+        banks = gather.pmu_banks
+        rows_arr = gather.pmu_rows
+        matrix = machine.pmu._node_matrix
 
         # --- Commit ----------------------------------------------------
         for i in range(k):

@@ -1,0 +1,860 @@
+"""Lane-stacked execution: many independent machines, one kernel.
+
+Every figure grid in the reproduction replays the same scenario shape
+over many seeds.  Each solo run pays the full Python-per-epoch cost of
+the fused replay loop alone, and the within-run batching axis is
+nearly exhausted (event density keeps horizons short).  This module
+adds the cross-run axis: L independent machines ("lanes") advance in
+lockstep through one set of 2D ``lanes x slots`` ndarrays, so the
+~100 ufunc calls of an epoch pass are amortised over every lane at
+once instead of ~100 Python statements per lane.
+
+The hard contract is the repo's signature guarantee, per lane: a
+lane's end state (and therefore its ``RunSummary``) is **bitwise
+identical** to running that machine solo on the batched engine.  The
+structure that makes this provable:
+
+* Each lane keeps its own :class:`~repro.xen.simulator.Machine`,
+  its own :class:`~repro.xen.engine.BatchedEngine` and its own RNG
+  streams.  All control flow — boundary phases, horizon sizing, wake
+  processing, transitions, every RNG draw — runs in per-lane Python
+  through the *same* methods the solo path uses
+  (``Machine._epoch_prologue`` / ``_epoch_epilogue``,
+  ``BatchedEngine.begin_fused_batch`` / ``finish_fused_batch``).
+* Only the event-free fused-replay epochs are stacked.  The kernel
+  (:class:`_StackedKernel`) mirrors
+  :meth:`~repro.xen.engine.BatchedEngine._fused_epochs` with
+  elementwise float64 ufuncs (same IEEE operations per element),
+  left-fold ``np.add.accumulate`` for the ordered cross-VCPU traffic
+  sums, 0.0-masked no-ops for padded slots, and per-element Python
+  ``pow`` for shaped miss curves (matching the solo kernel's rule
+  that ndarray ``**`` rounds differently).
+* Any lane the kernel cannot take bitwise — aliased placement rows,
+  mismatched latency constants, an oversized running set — falls back
+  to the engine's own scalar ``_fused_epochs`` for that batch, and a
+  lane whose engine is not batched runs solo outright.  Fallbacks are
+  always safe because both sides honour the same
+  :class:`~repro.xen.engine._FusedState` contract.
+* One lane's :class:`~repro.xen.simulator.SimulationTimeout` (or any
+  other per-lane error) retires that lane alone; stack-mates continue
+  unperturbed because no simulated state is shared between lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.xen.engine import BatchedEngine, _FusedState
+from repro.xen.simulator import Machine, SimResult, SimulationTimeout
+
+__all__ = ["LaneResult", "StackedEngine", "run_stacked"]
+
+# Constant-block row order (see ``_StackedKernel.con``).  The values
+# are the padded-slot defaults: a settled node-0 singleton with no
+# references, for which every epoch operation is a finite, exact
+# ``+0.0`` no-op.
+_PAD_ROW = (
+    1.0,  # conc
+    0.0,  # anti
+    0.0,  # rp
+    1.0,  # cb
+    1.0,  # ml
+    0.0,  # ck
+    1.0,  # n2
+    0.0,  # nd0f (1.0 where the slot's VCPU runs on node 0)
+    1.0,  # nd0i (1.0 - nd0f)
+    np.inf,  # total
+    1.0,  # keep (1 - drift; 1.0 when the slot doesn't drift)
+    0.0,  # add0
+    0.0,  # add1
+    1.0,  # nsl
+    0.0,  # share
+    0.0,  # minmr
+    0.0,  # span
+    1.0,  # cf
+)
+_PAD_COL = np.array(_PAD_ROW)[:, None]
+
+
+@dataclass
+class LaneResult:
+    """Outcome of one lane: a result or the error that retired it."""
+
+    result: Optional[SimResult] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _Lane:
+    """Bookkeeping for one machine advancing through the executor."""
+
+    __slots__ = (
+        "index",
+        "machine",
+        "engine",
+        "limit",
+        "stop_check",
+        "gen",
+        "pending",
+        "state",
+        "finished",
+        "interrupted",
+        "error",
+        "cached_plan",
+        "meta",
+    )
+
+    def __init__(self, index, machine, limit, stop_check):
+        self.index = index
+        self.machine = machine
+        self.engine = None
+        self.limit = limit
+        self.stop_check = stop_check
+        self.gen = None
+        self.pending = 0
+        self.state: Optional[_FusedState] = None
+        self.finished = False
+        self.interrupted = False
+        self.error: Optional[BaseException] = None
+        # Strong reference to the last packed plan: identity implies
+        # liveness, so ``plan is cached_plan`` can never alias a
+        # recycled object and the packed constants stay trustworthy.
+        self.cached_plan = None
+        self.meta = None
+
+
+class _StackedKernel:
+    """Lane-stacked mirror of ``BatchedEngine._fused_epochs``.
+
+    Holds one set of ``(L, S)`` float64 arrays (L lanes, S PCPU
+    slots) plus per-lane metadata.  A lane *enters* with a seeded
+    :class:`_FusedState` (its lists are packed into the lane's array
+    row), any number of ``run_epochs`` calls advance every entered
+    lane together, and the lane *exits* with its finals unpacked into
+    the same state object — after which the engine's ordinary
+    ``_fused_commit`` sees exactly what the scalar loop would have
+    left behind.
+
+    Bitwise rules mirrored from the scalar loop and the solo 2D
+    kernel's proofs:
+
+    * elementwise float64 ufuncs perform the same IEEE-754 operation
+      as the corresponding Python-float expression;
+    * cross-VCPU ordered reductions (IMC/QPI flows, machine busy
+      time) fold left in slot order — ``np.add.accumulate`` for the
+      flows, a masked per-slot add chain for busy time — and padded
+      slots contribute exact ``+0.0`` terms;
+    * branch selections (``bad`` curves, queueing-knee caps, node-0
+      routing) use ``np.where`` / additive 0-1 masks whose discarded
+      or zeroed terms are exact no-ops;
+    * shaped miss curves use per-element Python ``pow`` (ndarray
+      ``**`` rounds differently — same rule as the solo kernel);
+    * placement drift updates rows elementwise (the kernel refuses
+      aliased rows) and applies the shared ``overall`` increments as
+      masked left folds in slot order, one fold per overall column
+      (a two-node machine has at most two).
+    """
+
+    def __init__(self, num_lanes: int, slots: int, epoch: float):
+        self.slots = slots
+        self.epoch = epoch
+        self.scalars = None
+        self._bw3 = None
+        self.lanes_entered = 0
+        L = num_lanes
+        S = slots
+        # Assignment-static constants (repacked when a lane's plan
+        # changes) live in one (18, L, S) block so a repack is a
+        # single strided assignment; row order and padded-slot
+        # defaults are ``_PAD_ROW``.
+        self.con = np.empty((18, L, S))
+        self.con[:] = np.array(_PAD_ROW)[:, None, None]
+        (
+            self.conc,
+            self.anti,
+            self.rp,
+            self.cb,
+            self.ml,
+            self.ck,
+            self.n2,
+            self.nd0f,
+            self.nd0i,
+            self.total,
+            self.keep,
+            self.add0,
+            self.add1,
+            self.nsl,
+            self.share,
+            self.minmr,
+            self.span,
+            self.cf,
+        ) = self.con
+        # Slot -> over-mirror column (gather), and its one-hot cube
+        # (over column x slot) for the ordered scatter folds.  Pads
+        # point at the last column with an all-zero mask row.
+        self.omap = np.full((L, S), S - 1, dtype=np.intp)
+        self.maskO = np.zeros((L, S, S))
+        self.bad = np.ones((L, S), dtype=bool)
+        self.nd0b = np.zeros((L, S), dtype=bool)
+        self.maskf = np.zeros((L, S))
+        # Accumulators (packed on entry, unpacked on exit) in one
+        # (12, L, S) block: entry and exit move all twelve rows with
+        # one copy each.
+        self.acc = np.zeros((12, L, S))
+        (
+            self.pend,
+            self.busy,
+            self.idone,
+            self.sused,
+            self.burst,
+            self.bi,
+            self.br,
+            self.bm,
+            self.bl,
+            self.bx,
+            self.m0,
+            self.m1,
+        ) = self.acc
+        self.warm = np.zeros((L, S))
+        self.mbusy = np.zeros(L)
+        self.R0 = np.full((L, S), 1.0)
+        self.R1 = np.zeros((L, S))
+        self.OS0 = np.zeros((L, S))
+        self.OS1 = np.zeros((L, S))
+        # Preallocated scratch for the epoch pass's ordered folds.
+        self._mfold = np.zeros((L, S + 1))
+        self._ofold = np.zeros((L, S, S + 1))
+        self._rr = np.zeros((3, L))
+        self._packed_k = [0] * L
+        # Per-lane Python metadata for packed lanes.
+        self.shaped: List[list] = [[] for _ in range(L)]
+        self.active: List[Optional[_Lane]] = [None] * L
+        self._active_shaped: tuple = ()
+        self._shaped_dirty = False
+
+    # -- lane entry / exit ---------------------------------------------
+    def try_enter(self, lane: _Lane, state: _FusedState) -> bool:
+        """Pack ``state`` into the lane's row; False if not stackable."""
+        plan = state.plan
+        k = state.k
+        S = self.slots
+        if k > S:
+            return False
+        (
+            flat_plan,
+            flat_charge,
+            rows,
+            _miss,
+            _mix_rows,
+            _reseed_w,
+            row_pairs,
+            over_pairs,
+            rloc,
+            oloc,
+            _w_by_node,
+            scalars,
+        ) = plan
+        if len(row_pairs) != k or len(flat_plan) != k:
+            # Aliased placement rows (or an unexpected member layout):
+            # the scalar replay's shared-mirror interleaving has no
+            # elementwise equivalent, so this batch runs scalar.
+            return False
+        if self.scalars is None:
+            self.scalars = scalars
+        elif scalars != self.scalars:
+            return False
+        li = lane.index
+        if plan is not lane.cached_plan:
+            # Constants AND warmth refs repack together: ``lane.meta``
+            # must always describe ``cached_plan``, never a plan that
+            # was merely attempted (and possibly rejected) in between.
+            self._pack_constants(lane, state, plan)
+            lane.cached_plan = plan
+        meta = lane.meta
+        wl_refs = meta[0]
+        # Accumulators: live lists -> array rows.
+        self.warm[li, :k] = [w_l[j] for w_l, j in wl_refs]
+        self.R0[li, :k] = [loc[0] for loc in rloc]
+        self.R1[li, :k] = [loc[1] for loc in rloc]
+        n_over = len(over_pairs)
+        self.OS0[li, :n_over] = [loc[0] for _src, loc in over_pairs]
+        self.OS1[li, :n_over] = [loc[1] for _src, loc in over_pairs]
+        self.acc[:, li, :k] = (
+            state.pend,
+            state.busy,
+            state.idone,
+            state.sused,
+            state.burst,
+            state.bi,
+            state.br,
+            state.bm,
+            state.bl,
+            state.bx,
+            state.m0,
+            state.m1,
+        )
+        self.mbusy[li] = state.mbusy
+        # The active mask is zeroed by exit_lane, so it must be
+        # restored on every entry -- not just when constants repack.
+        self.maskf[li, :k] = 1.0
+        self.maskf[li, k:] = 0.0
+        if k < S:
+            # Padded slots read as a settled node-0 singleton; their
+            # R rows must hold (1, 0) so every derived term is +0.0.
+            self.R0[li, k:] = 1.0
+            self.R1[li, k:] = 0.0
+        self.active[li] = lane
+        lane.state = state
+        self.lanes_entered += 1
+        self._shaped_dirty = True
+        return True
+
+    def _pack_constants(self, lane: _Lane, state: _FusedState, plan) -> None:
+        """Repack the assignment-static row for a lane's new plan."""
+        li = lane.index
+        (
+            flat_plan,
+            flat_charge,
+            rows,
+            _miss,
+            _mix_rows,
+            _reseed_w,
+            _row_pairs,
+            over_pairs,
+            _rloc,
+            oloc,
+            _w_by_node,
+            _scalars,
+        ) = plan
+        k = state.k
+        S = self.slots
+        wl_refs: List[tuple] = [None] * k
+        shaped = []
+        share = [0.0] * k
+        minmr = [0.0] * k
+        span = [0.0] * k
+        bad = [True] * k
+        cfl = [1.0] * k
+        for (w_l, j, pos, sh, mn, sp, shp, bd), (_w2, _j2, cf) in zip(
+            flat_plan, flat_charge
+        ):
+            wl_refs[pos] = (w_l, j)
+            share[pos] = sh
+            minmr[pos] = mn
+            span[pos] = sp
+            bad[pos] = bd
+            cfl[pos] = cf
+            if shp != 1.0:
+                shaped.append((pos, shp))
+        lane.meta = (wl_refs,)
+        self.shaped[li] = shaped
+
+        over_slot = {id(loc): idx for idx, (_src, loc) in enumerate(over_pairs)}
+        omap = [S - 1] * k
+        conc = [1.0] * k
+        anti = [0.0] * k
+        rp = [0.0] * k
+        cb = [1.0] * k
+        ml = [1.0] * k
+        ck = [0.0] * k
+        n2 = [1.0] * k
+        nd0 = [False] * k
+        nd0f = [0.0] * k
+        nd0i = [1.0] * k
+        total = [np.inf] * k
+        keep = [1.0] * k
+        add0 = [0.0] * k
+        add1 = [0.0] * k
+        nsl = [1.0] * k
+        for i, (c, a, _row, over, rpv, cbv, mlv, ckv, n2v, _mrow, nd0v, tot, d, nslv) in enumerate(rows):
+            conc[i] = c
+            anti[i] = a
+            rp[i] = rpv
+            cb[i] = cbv
+            ml[i] = mlv
+            ck[i] = ckv
+            n2[i] = n2v
+            if nd0v:
+                nd0[i] = True
+                nd0f[i] = 1.0
+                nd0i[i] = 0.0
+            total[i] = np.inf if tot is None else tot
+            if d > 0:
+                keep[i] = 1.0 - d
+                if nd0v:
+                    add0[i] = d
+                else:
+                    add1[i] = d
+            nsl[i] = float(nslv)
+            omap[i] = over_slot[id(over)]
+        self.con[:, li, :k] = (
+            conc,
+            anti,
+            rp,
+            cb,
+            ml,
+            ck,
+            n2,
+            nd0f,
+            nd0i,
+            total,
+            keep,
+            add0,
+            add1,
+            nsl,
+            share,
+            minmr,
+            span,
+            cfl,
+        )
+        self.bad[li, :k] = bad
+        self.nd0b[li, :k] = nd0
+        self.omap[li, :k] = omap
+        pk = self._packed_k[li]
+        if k < pk:
+            # A shrunken running set: restore the pad constants the
+            # previous (wider) plan overwrote.
+            self.con[:, li, k:pk] = _PAD_COL
+            self.bad[li, k:pk] = True
+            self.nd0b[li, k:pk] = False
+            self.omap[li, k:pk] = S - 1
+        self._packed_k[li] = k
+        cube = self.maskO[li]
+        cube[:] = 0.0
+        cube[np.asarray(omap), np.arange(k)] = 1.0
+
+    def _rebuild_shaped(self) -> None:
+        self._shaped_dirty = False
+        self._active_shaped = tuple(
+            (lane.index, pos, shp)
+            for lane in self.active
+            if lane is not None
+            for pos, shp in self.shaped[lane.index]
+        )
+
+    def exit_lane(self, lane: _Lane) -> None:
+        """Unpack the lane's finals back into its seeded state."""
+        li = lane.index
+        state = lane.state
+        k = state.k
+        wl_refs = lane.meta[0]
+        for (w_l, j), val in zip(wl_refs, self.warm[li, :k].tolist()):
+            w_l[j] = val
+        plan = state.plan
+        rloc = plan[8]
+        over_pairs = plan[7]
+        r0 = self.R0[li, :k].tolist()
+        r1 = self.R1[li, :k].tolist()
+        for i, loc in enumerate(rloc):
+            loc[0] = r0[i]
+            loc[1] = r1[i]
+        n_over = len(over_pairs)
+        o0 = self.OS0[li, :n_over].tolist()
+        o1 = self.OS1[li, :n_over].tolist()
+        for i, (_src, loc) in enumerate(over_pairs):
+            loc[0] = o0[i]
+            loc[1] = o1[i]
+        vals = self.acc[:, li, :k].tolist()
+        state.pend[:] = vals[0]
+        state.busy[:] = vals[1]
+        state.idone[:] = vals[2]
+        state.sused[:] = vals[3]
+        state.burst[:] = vals[4]
+        state.bi[:] = vals[5]
+        state.br[:] = vals[6]
+        state.bm[:] = vals[7]
+        state.bl[:] = vals[8]
+        state.bx[:] = vals[9]
+        state.m0[:] = vals[10]
+        state.m1[:] = vals[11]
+        state.mbusy = float(self.mbusy[li])
+        self.maskf[li] = 0.0
+        self.active[li] = None
+        lane.state = None
+        self.lanes_entered -= 1
+        self._shaped_dirty = True
+
+    # -- the stacked epoch pass ----------------------------------------
+    def run_epochs(self, n: int) -> None:
+        """Advance every entered lane ``n`` epochs, all lanes at once.
+
+        Retired / never-entered lane rows evolve as finite garbage
+        (their constants keep the last or padded values) and are never
+        read: no simulated quantity crosses lanes, the ordered
+        reductions run along the slot axis only.
+        """
+        (
+            hit_ns,
+            local_dram,
+            bw0,
+            bw1,
+            qpi_bw,
+            s_dram,
+            s_remote,
+            cap,
+            knee,
+            bpm,
+        ) = self.scalars
+        bw3 = self._bw3
+        if bw3 is None:
+            bw3 = self._bw3 = np.array([[bw0], [bw1], [qpi_bw]])
+        epoch = self.epoch
+        (
+            conc,
+            anti,
+            rp,
+            cb,
+            ml,
+            ck,
+            n2,
+            nd0f,
+            nd0i,
+            total,
+            keep,
+            add0,
+            add1,
+            nsl,
+            share,
+            minmr,
+            span,
+            cf,
+        ) = self.con
+        nd0b = self.nd0b
+        bad = self.bad
+        omap = self.omap
+        maskO = self.maskO
+        maskf = self.maskf
+        warm = self.warm
+        (
+            pend,
+            busy,
+            idone,
+            sused,
+            burst,
+            bi,
+            br,
+            bm,
+            bl,
+            bx,
+            m0a,
+            m1a,
+        ) = self.acc
+        mbusy = self.mbusy
+        R0 = self.R0
+        R1 = self.R1
+        OS0 = self.OS0
+        OS1 = self.OS1
+        if self._shaped_dirty:
+            self._rebuild_shaped()
+        shaped = self._active_shaped
+        mfold = self._mfold
+        ofold = self._ofold
+        rr = self._rr
+        for _ in range(n):
+            # Miss curves (f = share * warmth, saturating curves get a
+            # per-element Python pow; `bad` working sets pin f = 1).
+            f = np.where(bad, 1.0, share * warm)
+            missing = 1.0 - f
+            for li, pos, shp in shaped:
+                # Python-float pow: np.float64.__pow__ is not bitwise
+                # identical to CPython's, and the scalar replay uses
+                # the latter.
+                missing[li, pos] = (1.0 - float(f[li, pos])) ** shp
+            mr = minmr + span * missing
+
+            # Page mix and first contention round.
+            O0g = np.take_along_axis(OS0, omap, axis=1)
+            O1g = np.take_along_axis(OS1, omap, axis=1)
+            m0 = conc * R0 + anti * O0g
+            m1 = conc * R1 + anti * O1g
+            s = m0 + m1
+            x0 = m0 / s
+            x1 = m1 / s
+            per_ref = (1.0 - mr) * hit_ns + mr * local_dram
+            stall = rp * per_ref * n2 / ml
+            rate = ck / (cb + stall)
+            t = rate * rp * mr * bpm
+            flow0 = t * x0
+            flow1 = t * x1
+            # Left-fold sums: accumulate is sequential in slot order,
+            # and the scalar loop's 0.0 seed plus first add is exact.
+            rr[0] = np.add.accumulate(flow0, axis=1)[:, -1]
+            rr[1] = np.add.accumulate(flow1, axis=1)[:, -1]
+            qpic = np.where(nd0b, flow1, flow0)
+            rr[2] = np.add.accumulate(qpic, axis=1)[:, -1]
+
+            # All three queueing knees (IMC0 / IMC1 / QPI) in one
+            # (3, L) pass: elementwise, so the stacking is exact.
+            rho = rr / bw3
+            fac = np.where(
+                rho >= knee, cap, 1.0 / (1.0 - np.minimum(rho, knee))
+            )
+            dram0 = (s_dram * fac[0])[:, None]
+            dram1 = (s_dram * fac[1])[:, None]
+            remote_add = (s_remote * fac[2])[:, None]
+
+            # Second round: remote/queueing penalties, then progress.
+            # The additive masks reproduce the scalar branch picks
+            # exactly (adding remote_add * 0.0 / multiplying a zero
+            # frac are exact no-ops).
+            sel0 = dram0 + remote_add * nd0i
+            sel1 = dram1 + remote_add * nd0f
+            penalty = x0 * sel0 + x1 * sel1
+            per_ref = (1.0 - mr) * hit_ns + mr * penalty
+            stall = rp * per_ref * n2 / ml
+            rate = ck / (cb + stall)
+
+            used = np.minimum(pend, epoch)
+            pend -= used
+            compute = epoch - used
+            busy += epoch
+            # Machine-busy time: one masked left fold along the slot
+            # axis (pads and retired lanes contribute exact +0.0).
+            mfold[:, 0] = mbusy
+            np.multiply(maskf, epoch, out=mfold[:, 1:])
+            np.add.accumulate(mfold, axis=1, out=mfold)
+            mbusy[:] = mfold[:, -1]
+            done = rate * compute
+            done = np.minimum(done, np.maximum(total - idone, 0.0))
+            r_ = done * rp
+            mi = r_ * mr
+            a0 = mi * x0
+            a1 = mi * x1
+            m0a += a0
+            m1a += a1
+            bi += done
+            br += r_
+            bm += mi
+            local = np.where(nd0b, a0, a1)
+            bl += local
+            bx += (a0 + a1) - local
+            idone += done
+            sused += epoch
+            burst -= epoch
+
+            # Placement drift: rows are unaliased (entry contract), so
+            # they advance elementwise; the shared `overall` vectors
+            # take their increments as masked left folds in slot
+            # order, exactly the scalar replay's add sequence (masked
+            # slots insert exact-zero terms, which cannot perturb the
+            # partial sums).
+            r0_old = R0.copy()
+            r1_old = R1.copy()
+            np.multiply(R0, keep, out=R0)
+            np.add(R0, add0, out=R0)
+            np.multiply(R1, keep, out=R1)
+            np.add(R1, add1, out=R1)
+            d0 = (R0 - r0_old) / nsl
+            d1 = (R1 - r1_old) / nsl
+            ofold[:, :, 0] = OS0
+            np.multiply(d0[:, None, :], maskO, out=ofold[:, :, 1:])
+            np.add.accumulate(ofold, axis=2, out=ofold)
+            OS0[:, :] = ofold[:, :, -1]
+            ofold[:, :, 0] = OS1
+            np.multiply(d1[:, None, :], maskO, out=ofold[:, :, 1:])
+            np.add.accumulate(ofold, axis=2, out=ofold)
+            OS1[:, :] = ofold[:, :, -1]
+
+            # Warmth charge.
+            np.subtract(1.0, warm, out=warm)
+            np.multiply(warm, cf, out=warm)
+            np.subtract(1.0, warm, out=warm)
+
+
+class StackedEngine:
+    """Advance L independent machines with a shared epoch kernel.
+
+    Construction takes the lane machines (same scenario *shape*:
+    identical ``epoch_s``; seeds — and optionally schedulers — may
+    differ).  :meth:`run` drives all lanes to completion and returns
+    one :class:`LaneResult` per lane, order-aligned with the input.
+
+    Per-lane isolation: a lane that raises
+    :class:`~repro.xen.simulator.SimulationTimeout` (or anything
+    else) is retired with its error recorded; the other lanes never
+    observe it.  A lane whose engine is not the batched engine is run
+    solo through ``Machine.run`` — same results, no stacking.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        max_time_s: Optional[float] = None,
+        stop_checks: Optional[Sequence[Optional[Callable[[], bool]]]] = None,
+    ) -> None:
+        if not machines:
+            raise ValueError("StackedEngine needs at least one machine")
+        epochs = {m.config.epoch_s for m in machines}
+        if len(epochs) != 1:
+            raise ValueError(
+                f"stacked lanes must share epoch_s, got {sorted(epochs)}"
+            )
+        self.lanes: List[_Lane] = []
+        for i, machine in enumerate(machines):
+            limit = (
+                max_time_s if max_time_s is not None else machine.config.max_time_s
+            )
+            check = stop_checks[i] if stop_checks is not None else None
+            self.lanes.append(_Lane(i, machine, limit, check))
+        slots = max(len(m.pcpus) for m in machines)
+        self.kernel = _StackedKernel(
+            len(self.lanes), slots, machines[0].config.epoch_s
+        )
+
+    # -- per-lane macro-step pump --------------------------------------
+    def _pump(self, lane: _Lane):
+        """Generator: one lane's run loop, yielding at fused batches.
+
+        A faithful mirror of ``Machine.run`` + ``Machine._step_epoch``
+        on the batched engine: identical boundary phases through
+        ``_epoch_prologue`` / ``_epoch_epilogue``, identical horizon
+        sizing, and identical phase-4 dispatch — except that a batch
+        the engine itself would run through ``_advance_replay_fused``
+        is seeded via ``begin_fused_batch`` and *yielded* to the
+        executor, which runs its epochs (stacked or scalar) before
+        resuming this generator for the commit.
+        """
+        machine = lane.machine
+        engine = lane.engine
+        limit = lane.limit
+        epoch = machine.config.epoch_s
+        cap = machine.config.max_epochs
+        profiler = machine.profiler
+        stop_check = lane.stop_check
+        while machine.time < limit - 1e-12:
+            if stop_check is not None and stop_check():
+                lane.interrupted = True
+                return
+            if cap is not None and machine.epoch_index >= cap:
+                raise SimulationTimeout(
+                    machine.config.label or f"<{machine.policy.name} machine>",
+                    cap,
+                    machine.time,
+                )
+            now = machine.time
+            machine._epoch_prologue(now, engine)
+            stepped = 1
+            t0 = profiler.start()
+            batch = engine.compute_horizon(now, limit)
+            profiler.stop("horizon", t0)
+            t0 = profiler.start()
+            if batch > 1:
+                # Same dispatch split as the solo stepper: short
+                # horizons seed a fused batch (stacked instead of
+                # scalar-replayed), horizons past the replay cap take
+                # advance_batch's closed-form chains, and singleton
+                # epochs take the plain vector path — both of which
+                # beat the kernel's per-epoch pass at their extremes.
+                begun = engine.begin_fused_batch(now, epoch, batch)
+                if begun is not None:
+                    state, end = begun
+                    yield state
+                    engine.finish_fused_batch(state, end, epoch, batch)
+                else:
+                    end = engine.advance_batch(now, epoch, batch)
+                stepped = batch
+            else:
+                end = now + epoch
+                engine.advance_running(now, epoch)
+            profiler.stop("epoch", t0)
+            machine._epoch_epilogue(end, stepped, engine)
+            if machine.config.stop_on_finite_completion and engine.all_finite_done():
+                return
+
+    def _advance_lane(self, lane: _Lane) -> None:
+        """Drive a lane until it is packed in the kernel or finished."""
+        kernel = self.kernel
+        while True:
+            try:
+                state = next(lane.gen)
+            except StopIteration:
+                lane.finished = True
+                return
+            except Exception as exc:  # noqa: BLE001 — per-lane isolation
+                lane.finished = True
+                lane.error = exc
+                return
+            kb = state.kb
+            if kernel.try_enter(lane, state):
+                lane.pending = kb
+                return
+            # Scalar fallback for this batch: same state contract,
+            # bitwise by construction.
+            lane.engine._fused_epochs(state, self.kernel.epoch, kb)
+
+    # -- executor ------------------------------------------------------
+    def run(self) -> List[LaneResult]:
+        """Run every lane to completion; one result per input machine."""
+        lanes = self.lanes
+        for lane in lanes:
+            machine = lane.machine
+            engine = machine._ensure_engine()
+            if not isinstance(engine, BatchedEngine):
+                # Vector / reference lanes: solo execution, same
+                # isolation contract.
+                continue
+            lane.engine = engine
+            lane.gen = self._pump(lane)
+
+        for lane in lanes:
+            if lane.gen is None:
+                continue
+            self._advance_lane(lane)
+        kernel = self.kernel
+        while True:
+            entered = [lane for lane in lanes if lane.pending > 0]
+            if not entered:
+                break
+            step = min(lane.pending for lane in entered)
+            kernel.run_epochs(step)
+            for lane in entered:
+                lane.pending -= step
+                if lane.pending == 0:
+                    kernel.exit_lane(lane)
+                    self._advance_lane(lane)
+
+        results: List[LaneResult] = []
+        for lane in lanes:
+            if lane.gen is None:
+                results.append(self._run_solo(lane))
+            elif lane.error is not None:
+                results.append(LaneResult(error=lane.error))
+            else:
+                machine = lane.machine
+                results.append(
+                    LaneResult(
+                        result=SimResult(
+                            sim_time_s=machine.time,
+                            completed=machine._all_finite_done(),
+                            machine=machine,
+                            interrupted=lane.interrupted,
+                        )
+                    )
+                )
+        return results
+
+    @staticmethod
+    def _run_solo(lane: _Lane) -> LaneResult:
+        try:
+            return LaneResult(
+                result=lane.machine.run(
+                    max_time_s=lane.limit, stop_check=lane.stop_check
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 — per-lane isolation
+            return LaneResult(error=exc)
+
+
+def run_stacked(
+    machines: Sequence[Machine],
+    max_time_s: Optional[float] = None,
+    stop_checks: Optional[Sequence[Optional[Callable[[], bool]]]] = None,
+) -> List[LaneResult]:
+    """Run many independent machines through one stacked executor."""
+    return StackedEngine(machines, max_time_s, stop_checks).run()

@@ -1,0 +1,317 @@
+"""Lane-stacked grid engine: grouping, stepping, retirement, isolation.
+
+The stacked engine's contract is the repo's signature guarantee taken
+cross-run: every lane's summary must be bitwise the solo batched run's.
+These tests pin the pieces that make that hold end to end —
+
+* the :class:`~repro.experiments.parallel.ParallelRunner` lane planner
+  (what may share a stack, what must not);
+* masked stepping and lane retirement (lanes of different lengths
+  advance together and retire independently);
+* per-lane fault isolation (one lane's
+  :class:`~repro.xen.simulator.SimulationTimeout` or crash never
+  poisons its stack-mates);
+* the cache/journal flow (stacked results land under per-cell keys, so
+  warm lookups and ``--resume`` replays are dispatch-shape blind);
+* the builder-dedupe dispatch payloads (satellites: fingerprints are
+  hashed once per distinct builder, chunks pickle each builder once).
+"""
+
+import dataclasses
+import json
+from functools import partial
+
+import pytest
+
+from repro.cache.store import ResultCache
+from repro.experiments.parallel import (
+    ParallelRunner,
+    _auto_chunksize,
+    run_packed_batch_guarded,
+    run_stacked_batch_guarded,
+)
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    make_scheduler,
+    solo_scenario,
+    spec_scenario,
+)
+from repro.metrics.collectors import summarize
+from repro.recovery.deadline import DeadlinePolicy
+from repro.recovery.journal import GridJournal
+from repro.xen.simulator import SimulationTimeout
+from repro.xen.stacked import run_stacked
+
+FAST = ScenarioConfig(work_scale=0.02, seed=0)
+
+
+def canonical(summary) -> str:
+    d = summary.to_dict()
+    d.pop("phase_profile", None)
+    d.pop("horizon_stats", None)
+    return json.dumps(d, sort_keys=True)
+
+
+def build(app, scheduler, cfg):
+    return spec_scenario(app, make_scheduler(scheduler), cfg)
+
+
+def seed_cells(builder, seeds, schedulers=("credit",), cfg=FAST):
+    return [
+        (builder, sched, dataclasses.replace(cfg, seed=seed))
+        for seed in seeds
+        for sched in schedulers
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Lane planner
+# ---------------------------------------------------------------------------
+def test_planner_groups_seed_variation_into_one_stack():
+    runner = ParallelRunner(1, engine="stacked")
+    cells = seed_cells(partial(spec_scenario, "lu"), range(5))
+    runner.run_cells(cells)
+    assert runner.stacks == [[0, 1, 2, 3, 4]]
+
+
+def test_planner_allows_scheduler_variation_within_a_stack():
+    runner = ParallelRunner(1, engine="stacked")
+    cells = seed_cells(
+        partial(spec_scenario, "lu"), range(2), schedulers=("credit", "vprobe")
+    )
+    runner.run_cells(cells)
+    assert runner.stacks == [[0, 1, 2, 3]]
+
+
+def test_planner_splits_incompatible_builders_and_configs():
+    runner = ParallelRunner(1, engine="stacked")
+    lu, soplex = partial(spec_scenario, "lu"), partial(spec_scenario, "soplex")
+    scaled = dataclasses.replace(FAST, work_scale=0.03)
+    cells = (
+        seed_cells(lu, range(2))
+        + seed_cells(soplex, range(2))
+        + seed_cells(lu, range(2), cfg=scaled)
+    )
+    runner.run_cells(cells)
+    assert runner.stacks == [[0, 1], [2, 3], [4, 5]]
+
+
+def test_planner_caps_stacks_and_leaves_singletons_per_cell():
+    runner = ParallelRunner(1, engine="stacked", stack_lanes=4)
+    cells = seed_cells(partial(spec_scenario, "lu"), range(5))
+    runner.run_cells(cells)
+    # 5 lanes at cap 4: one full stack, the trailing singleton falls
+    # back to the per-cell path rather than paying kernel framing.
+    assert runner.stacks == [[0, 1, 2, 3]]
+
+
+def test_stack_lanes_one_disables_stacking():
+    runner = ParallelRunner(1, engine="stacked", stack_lanes=1)
+    cells = seed_cells(partial(spec_scenario, "lu"), range(3))
+    results = runner.run_cells(cells)
+    assert runner.stacks == []
+    assert all(r is not None for r in results)
+
+
+def test_anonymous_builders_stack_by_object_identity():
+    anon = lambda policy, cfg: spec_scenario("lu", policy, cfg)  # noqa: E731
+    other = lambda policy, cfg: spec_scenario("lu", policy, cfg)  # noqa: E731
+    runner = ParallelRunner(1, engine="stacked")
+    cells = seed_cells(anon, range(2)) + seed_cells(other, range(2))
+    results = runner.run_cells(cells)
+    # Unprovable identities never merge across objects, but one object
+    # still stacks against itself.
+    assert runner.stacks == [[0, 1], [2, 3]]
+    assert results[0] == results[2] and results[1] == results[3]
+
+
+# ---------------------------------------------------------------------------
+# Stepping, retirement, parity
+# ---------------------------------------------------------------------------
+def test_lanes_of_different_lengths_retire_independently():
+    """Masked stepping: a short lane retires while long lanes continue."""
+    cfgs = [
+        dataclasses.replace(FAST, seed=s, engine="stacked", work_scale=ws)
+        for s, ws in ((0, 0.01), (1, 0.04), (2, 0.02))
+    ]
+    solo = []
+    for cfg in cfgs:
+        machine = build("lu", "vprobe", dataclasses.replace(cfg, engine="batched"))
+        machine.run()
+        solo.append(canonical(summarize(machine)))
+    lanes = run_stacked([build("lu", "vprobe", cfg) for cfg in cfgs])
+    assert all(lane.ok for lane in lanes)
+    assert [canonical(summarize(lane.result.machine)) for lane in lanes] == solo
+
+
+def test_mid_run_cut_is_bitwise_neutral():
+    """Stopping a stack at an epoch boundary and restacking it later
+    yields the solo single-shot summary — the property that makes
+    checkpoint/resume dispatch-shape blind."""
+    machines = [
+        build("lu", "credit", dataclasses.replace(FAST, seed=s, engine="stacked"))
+        for s in range(3)
+    ]
+    cut = [lane.ok for lane in run_stacked(machines, max_time_s=0.2)]
+    assert all(cut)
+    lanes = run_stacked(machines)
+    assert all(lane.ok for lane in lanes)
+    for seed, lane in enumerate(lanes):
+        machine = build(
+            "lu", "credit", dataclasses.replace(FAST, seed=seed, engine="batched")
+        )
+        machine.run()
+        assert canonical(summarize(lane.result.machine)) == canonical(
+            summarize(machine)
+        )
+
+
+def test_runner_stacked_matches_batched_per_cell():
+    cells = seed_cells(
+        partial(spec_scenario, "soplex"),
+        range(3),
+        schedulers=("credit", "vprobe"),
+    )
+    base = ParallelRunner(1, engine="batched").run_cells(cells)
+    stacked = ParallelRunner(1, engine="stacked").run_cells(cells)
+    assert stacked == base
+
+
+def test_pooled_dispatch_matches_serial():
+    cells = seed_cells(partial(spec_scenario, "lu"), range(4))
+    serial = ParallelRunner(1, engine="stacked").run_cells(cells)
+    pooled_runner = ParallelRunner(2, engine="stacked", stack_lanes=2)
+    pooled = pooled_runner.run_cells(cells)
+    assert len(pooled_runner.stacks) == 2
+    assert pooled == serial
+
+
+# ---------------------------------------------------------------------------
+# Per-lane isolation and quarantine
+# ---------------------------------------------------------------------------
+def test_one_lane_timeout_never_poisons_stack_mates():
+    cfgs = [
+        dataclasses.replace(FAST, seed=s, engine="stacked") for s in range(3)
+    ]
+    cfgs[1] = dataclasses.replace(cfgs[1], max_epochs=10, label="doomed lane")
+    lanes = run_stacked([build("lu", "credit", cfg) for cfg in cfgs])
+    assert isinstance(lanes[1].error, SimulationTimeout)
+    for seed in (0, 2):
+        machine = build(
+            "lu", "credit", dataclasses.replace(FAST, seed=seed, engine="batched")
+        )
+        machine.run()
+        assert lanes[seed].ok
+        assert canonical(summarize(lanes[seed].result.machine)) == canonical(
+            summarize(machine)
+        )
+
+
+def test_runner_quarantines_timed_out_stack_lanes():
+    cfg = dataclasses.replace(FAST, work_scale=0.05, max_epochs=10)
+    cells = seed_cells(partial(spec_scenario, "lu"), range(3), cfg=cfg)
+    runner = ParallelRunner(1, engine="stacked")
+    results = runner.run_cells(cells)
+    assert results == [None, None, None]
+    assert len(runner.quarantined) == 3
+    assert all(q.reason == "sim_timeout" for q in runner.quarantined)
+
+
+def test_stack_deadline_overrun_falls_back_to_per_cell_strikes():
+    cells = seed_cells(partial(spec_scenario, "lu"), range(2))
+    runner = ParallelRunner(
+        1,
+        engine="stacked",
+        deadline=DeadlinePolicy(deadline_s=1e-4, max_strikes=1, backoff_base_s=0.0),
+    )
+    results = runner.run_cells(cells)
+    assert results == [None, None]
+    assert all(q.reason == "deadline" for q in runner.quarantined)
+
+
+def test_worker_stack_entry_reports_per_lane_outcomes():
+    cfgs = [
+        dataclasses.replace(FAST, seed=s, engine="stacked") for s in range(2)
+    ]
+    cfgs[1] = dataclasses.replace(cfgs[1], max_epochs=10)
+    builder = partial(spec_scenario, "lu")
+    outcomes = run_stacked_batch_guarded(
+        [(builder, "credit", cfg) for cfg in cfgs]
+    )
+    assert outcomes[0][0] == "ok"
+    assert outcomes[1][0] == "timeout"
+    assert outcomes[1][1][0] == "SimulationTimeout"
+
+
+# ---------------------------------------------------------------------------
+# Cache / journal / resume
+# ---------------------------------------------------------------------------
+def test_stacked_results_hit_cache_under_per_cell_keys(tmp_path):
+    cells = seed_cells(partial(spec_scenario, "lu"), range(3))
+    cold = ParallelRunner(1, cache=ResultCache(tmp_path), engine="stacked")
+    first = cold.run_cells(cells)
+    assert cold.cache_misses == 3 and cold.stacks == [[0, 1, 2]]
+    # Warm pass on the *per-cell batched* engine: the keys must be the
+    # same (stacking cannot leak into cache identity).
+    warm = ParallelRunner(1, cache=ResultCache(tmp_path), engine="batched")
+    second = warm.run_cells(cells)
+    assert warm.cache_hits == 3 and warm.cache_misses == 0
+    assert second == first
+
+
+def test_stacked_cells_journal_and_resume(tmp_path):
+    cells = seed_cells(partial(spec_scenario, "lu"), range(3))
+    journal = GridJournal(tmp_path / "journal.jsonl")
+    runner = ParallelRunner(1, engine="stacked", journal=journal)
+    first = runner.run_cells(cells)
+
+    resumed = GridJournal(tmp_path / "journal.jsonl", resume=True)
+    replay = ParallelRunner(1, engine="stacked", journal=resumed)
+    second = replay.run_cells(cells)
+    assert replay.journal_hits == 3 and replay.stacks == []
+    assert second == first
+
+
+# ---------------------------------------------------------------------------
+# Dispatch payloads (builder dedupe satellites)
+# ---------------------------------------------------------------------------
+def test_builder_fingerprint_hashed_once_per_grid(tmp_path, monkeypatch):
+    import repro.cache.keys as keys
+
+    calls = []
+    real = keys.builder_fingerprint
+
+    def counting(builder):
+        calls.append(builder)
+        return real(builder)
+
+    monkeypatch.setattr(keys, "builder_fingerprint", counting)
+    builder = partial(solo_scenario, "lu")
+    cells = seed_cells(builder, range(4), schedulers=("credit", "vprobe"))
+    runner = ParallelRunner(1, cache=ResultCache(tmp_path), engine="stacked")
+    runner.run_cells(cells)
+    assert len(calls) == 1
+
+
+def test_packed_chunks_ship_each_distinct_builder_once():
+    # Distinct-but-equal partials, as the figure modules create them:
+    # the packed payload must collapse them onto one instance.
+    cells = [
+        (partial(solo_scenario, "lu"), "credit", dataclasses.replace(FAST, seed=s))
+        for s in range(3)
+    ]
+    runner = ParallelRunner(1)
+    builders, packed = runner._pack_chunk(cells, [0, 1, 2])
+    assert len(builders) == 1
+    assert [slot for slot, _, _ in packed] == [0, 0, 0]
+    outcomes = run_packed_batch_guarded(builders, packed)
+    expected = ParallelRunner(1).run_cells(cells)
+    assert [payload for status, payload in outcomes] == expected
+    assert all(status == "ok" for status, _ in outcomes)
+
+
+def test_auto_chunksize_targets_two_chunks_per_worker():
+    assert _auto_chunksize(64, 2) == 16
+    assert _auto_chunksize(8, 8) == 1
+    assert _auto_chunksize(1000, 4) == 64  # capped
+    assert _auto_chunksize(1, 1) == 1
